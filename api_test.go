@@ -1,0 +1,86 @@
+package branchrunahead
+
+import "testing"
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 18 {
+		t.Fatalf("expected the paper's 18 benchmarks, got %d", len(names))
+	}
+	want := map[string]bool{"mcf_17": true, "leela_17": true, "bfs": true, "sssp": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing workloads: %v", want)
+	}
+}
+
+func TestRunDefaultsAndErrors(t *testing.T) {
+	if _, err := Run("not-a-workload", RunConfig{}); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	scale := SmallScale()
+	res, err := Run("xz_17", RunConfig{Warmup: 10_000, MaxInstrs: 50_000, Scale: &scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "xz_17" || res.Config != "tage64" {
+		t.Fatalf("result identity: %s / %s", res.Workload, res.Config)
+	}
+	if res.Instrs < 50_000 || res.IPC <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestRunWithEachBRVariant(t *testing.T) {
+	scale := SmallScale()
+	for _, mk := range []func() BRConfig{CoreOnly, Mini, Big} {
+		cfg := mk()
+		res, err := Run("mcf_17", RunConfig{BR: &cfg, Warmup: 10_000, MaxInstrs: 50_000, Scale: &scale})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.Config != "tage64+br-"+cfg.Name {
+			t.Fatalf("config name %q", res.Config)
+		}
+		if res.Chains == 0 {
+			t.Fatalf("%s: no chains extracted", cfg.Name)
+		}
+	}
+}
+
+func TestConfigStorageOrdering(t *testing.T) {
+	co, mi, bg := CoreOnly(), Mini(), Big()
+	if co.StorageBits() >= mi.StorageBits() {
+		t.Fatalf("Core-Only (%d bits) must be smaller than Mini (%d bits)",
+			co.StorageBits(), mi.StorageBits())
+	}
+	if mi.StorageBits() >= bg.StorageBits() {
+		t.Fatalf("Mini (%d bits) must be smaller than Big (%d bits)",
+			mi.StorageBits(), bg.StorageBits())
+	}
+	// Table 2's scale: Core-Only ~9KB, Mini ~17KB.
+	miKB := float64(mi.StorageBits()) / 8192
+	if miKB < 8 || miKB > 40 {
+		t.Fatalf("Mini storage %.1f KB, expected Table 2's order of magnitude", miKB)
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := QuickExperimentOptions()
+	opts.Workloads = []string{"mcf_17"}
+	opts.Warmup = 10_000
+	opts.Instrs = 40_000
+	s := NewExperiments(opts)
+	tab, err := s.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // one workload + mean
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

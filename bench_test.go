@@ -1,0 +1,295 @@
+package branchrunahead
+
+// The benchmark harness: one testing.B benchmark per paper table and
+// figure, plus ablation benches for the design decisions DESIGN.md calls
+// out. Each benchmark regenerates its figure at a reduced budget and
+// reports the headline numbers via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced series alongside timing.
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// benchOptions is the reduced budget used by the benchmark harness.
+func benchOptions() ExperimentOptions {
+	o := QuickExperimentOptions()
+	o.Workloads = []string{"mcf_17", "leela_17", "bfs"}
+	o.SweepWorkloads = []string{"mcf_17"}
+	o.Warmup = 20_000
+	o.Instrs = 60_000
+	o.SweepInstrs = 40_000
+	return o
+}
+
+func lastRowF(b *testing.B, t *Table, col int) float64 {
+	b.Helper()
+	row := t.Rows[len(t.Rows)-1]
+	var v float64
+	if _, err := sscan(row[col], &v); err != nil {
+		b.Fatalf("parse %q: %v", row[col], err)
+	}
+	return v
+}
+
+// BenchmarkFigure1 regenerates the hardest-branch misprediction rates
+// (TAGE-SC-L vs MTAGE-SC vs dependence chains).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "tage64_misp_pct")
+		b.ReportMetric(lastRowF(b, t, 2), "mtage_misp_pct")
+		b.ReportMetric(lastRowF(b, t, 3), "chains_misp_pct")
+	}
+}
+
+// BenchmarkFigure2 regenerates the average dependence chain lengths.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "mean_chain_uops")
+	}
+}
+
+// BenchmarkFigure3 regenerates the micro-op issue increase due to Branch
+// Runahead.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "uops_increase_pct")
+		b.ReportMetric(lastRowF(b, t, 2), "loads_increase_pct")
+	}
+}
+
+// BenchmarkFigure5 regenerates the affector/guard chain fractions.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "ag_chains_pct")
+	}
+}
+
+// BenchmarkFigure10 regenerates the headline MPKI/IPC improvements of
+// Core-Only, Mini and Big Branch Runahead plus the 80KB TAGE comparison.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "mpki_tage80_pct")
+		b.ReportMetric(lastRowF(b, t, 3), "mpki_mini_pct")
+		b.ReportMetric(lastRowF(b, t, 4), "mpki_big_pct")
+		b.ReportMetric(lastRowF(b, t, 7), "ipc_mini_pct")
+	}
+}
+
+// BenchmarkFigure11Top regenerates MTAGE vs Big Branch Runahead vs the
+// combination.
+func BenchmarkFigure11Top(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure11Top()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "mtage_mpki_pct")
+		b.ReportMetric(lastRowF(b, t, 2), "bigbr_mpki_pct")
+		b.ReportMetric(lastRowF(b, t, 3), "combined_mpki_pct")
+	}
+}
+
+// BenchmarkFigure11Bottom regenerates the chain initiation policy
+// comparison.
+func BenchmarkFigure11Bottom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure11Bottom()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "nonspec_mpki_pct")
+		b.ReportMetric(lastRowF(b, t, 2), "indep_mpki_pct")
+		b.ReportMetric(lastRowF(b, t, 3), "predictive_mpki_pct")
+	}
+}
+
+// BenchmarkFigure12 regenerates the prediction breakdown.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 1), "inactive_pct")
+		b.ReportMetric(lastRowF(b, t, 2), "late_pct")
+		b.ReportMetric(lastRowF(b, t, 5), "correct_pct")
+	}
+}
+
+// BenchmarkFigure13 regenerates the parameter sweeps (reduced axes at the
+// bench budget).
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		_, points, err := s.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the largest single-parameter gain over Mini.
+		best := 0.0
+		for _, p := range points {
+			if p.MPKIImprovement > best {
+				best = p.MPKIImprovement
+			}
+		}
+		b.ReportMetric(best, "best_param_gain_pct")
+	}
+}
+
+// BenchmarkFigure14 regenerates the energy deltas.
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(b, t, 2), "mini_energy_delta_pct")
+	}
+}
+
+// BenchmarkTable1And2 renders the static configuration tables.
+func BenchmarkTable1And2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Table1().String()) == 0 || len(Table2().String()) == 0 ||
+			len(AreaTable().String()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5): each disables one design decision and reports
+// the Mini MPKI improvement that remains.
+
+func ablationMPKI(b *testing.B, mutate func(*BRConfig)) float64 {
+	b.Helper()
+	scale := workloads.SmallScale()
+	base, err := Run("leela_17", RunConfig{Warmup: 20_000, MaxInstrs: 80_000, Scale: &scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Mini()
+	mutate(&cfg)
+	br, err := Run("leela_17", RunConfig{BR: &cfg, Warmup: 20_000, MaxInstrs: 80_000, Scale: &scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if base.MPKI == 0 {
+		return 0
+	}
+	return 100 * (base.MPKI - br.MPKI) / base.MPKI
+}
+
+// BenchmarkAblationInOrderDCE evaluates in-order chain scheduling (the
+// paper found it exposes too little MLP).
+func BenchmarkAblationInOrderDCE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.InOrderChainExec = true }), "mpki_improvement_pct")
+	}
+}
+
+// BenchmarkAblationNoAffectorGuard disables affector/guard termination;
+// chains then alternate between path variants and diverge sooner.
+func BenchmarkAblationNoAffectorGuard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.UseAffectorGuard = false }), "mpki_improvement_pct")
+	}
+}
+
+// BenchmarkAblationNoMoveElim disables move and store-load-pair
+// elimination, lengthening chains.
+func BenchmarkAblationNoMoveElim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.MoveElim = false }), "mpki_improvement_pct")
+	}
+}
+
+// BenchmarkAblationNoThrottle disables the 2-bit throttle counters that
+// protect against persistent divergence.
+func BenchmarkAblationNoThrottle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.Throttle = false }), "mpki_improvement_pct")
+	}
+}
+
+// BenchmarkAblationMergePoint compares the wrong-path-buffer merge point
+// predictor against the prior-work layout heuristic on the same recoveries
+// (the paper: 92% vs 78%).
+func BenchmarkAblationMergePoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := workloads.SmallScale()
+		cfg := Mini()
+		res, err := Run("leela_17", RunConfig{BR: &cfg, Warmup: 20_000, MaxInstrs: 80_000, Scale: &scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.MergeAcc, "wpb_merge_accuracy_pct")
+		b.ReportMetric(100*res.MergeAccLayout, "layout_merge_accuracy_pct")
+	}
+}
+
+// BenchmarkBaselineSimSpeed measures raw simulator throughput
+// (instructions simulated per wall second) on the baseline core.
+func BenchmarkBaselineSimSpeed(b *testing.B) {
+	scale := workloads.SmallScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run("mcf_17", RunConfig{Warmup: 0, MaxInstrs: 200_000, Scale: &scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "sim_ipc")
+	}
+}
+
+// BenchmarkRunaheadSimSpeed measures throughput with the DCE attached.
+func BenchmarkRunaheadSimSpeed(b *testing.B) {
+	scale := workloads.SmallScale()
+	cfg := Mini()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run("mcf_17", RunConfig{BR: &cfg, Warmup: 0, MaxInstrs: 200_000, Scale: &scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "sim_ipc")
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}

@@ -1,0 +1,111 @@
+// Command brexp regenerates the paper's evaluation: every figure and table
+// from "Branch Runahead" (MICRO 2021), printed as aligned text tables.
+//
+// Usage:
+//
+//	brexp                         # everything, default budgets
+//	brexp -figure 10              # just Figure 10
+//	brexp -quick                  # reduced workloads/budgets (smoke test)
+//	brexp -instrs 2000000         # longer runs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	br "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		figure      = flag.String("figure", "all", "all | 1 | 2 | 3 | 5 | 10 | 11top | 11bottom | 12 | 13 | 14 | tables")
+		quick       = flag.Bool("quick", false, "reduced workload set and budgets")
+		instrs      = flag.Uint64("instrs", 0, "override measured instruction budget per run")
+		warmup      = flag.Uint64("warmup", 0, "override warmup instructions")
+		verbose     = flag.Bool("v", false, "print per-run progress")
+		asJSON      = flag.Bool("json", false, "emit tables as JSON instead of text")
+		sweepInstrs = flag.Uint64("sweepinstrs", 0, "override Figure 13 sweep budget per run")
+	)
+	flag.Parse()
+
+	opts := br.DefaultExperimentOptions()
+	if *quick {
+		opts = br.QuickExperimentOptions()
+	}
+	if *instrs > 0 {
+		opts.Instrs = *instrs
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *sweepInstrs > 0 {
+		opts.SweepInstrs = *sweepInstrs
+	}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	s := br.NewExperiments(opts)
+
+	type fig struct {
+		name string
+		run  func() (*stats.Table, error)
+	}
+	figs := []fig{
+		{"1", s.Figure1},
+		{"2", s.Figure2},
+		{"3", s.Figure3},
+		{"5", s.Figure5},
+		{"10", s.Figure10},
+		{"11top", s.Figure11Top},
+		{"11bottom", s.Figure11Bottom},
+		{"12", s.Figure12},
+		{"13", func() (*stats.Table, error) { t, _, err := s.Figure13(); return t, err }},
+		{"14", s.Figure14},
+	}
+
+	emit := func(t *stats.Table) {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(t); err != nil {
+				fmt.Fprintf(os.Stderr, "brexp: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(t)
+	}
+	want := map[string]bool{}
+	for _, w := range strings.Split(strings.ToLower(*figure), ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			want[w] = true
+		}
+	}
+	ran := false
+	if want["all"] || want["tables"] {
+		emit(br.Table1())
+		emit(br.Table2())
+		emit(br.AreaTable())
+		ran = true
+	}
+	for _, f := range figs {
+		if !want["all"] && !want[f.name] {
+			continue
+		}
+		t, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "brexp: figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		emit(t)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "brexp: unknown figure %q\n", *figure)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Command brsim runs one workload on the simulator under a chosen
+// configuration and prints the measured metrics.
+//
+// Usage:
+//
+//	brsim -workload leela_17 -config mini -instrs 1000000
+//	brsim -workload mcf_17 -config baseline -predictor mtage
+//	brsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	br "repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "leela_17", "workload kernel name (-list to enumerate)")
+		config    = flag.String("config", "mini", "baseline | core-only | mini | big")
+		predictor = flag.String("predictor", "tage64", "tage64 | tage80 | mtage | bimodal | gshare")
+		instrs    = flag.Uint64("instrs", 1_000_000, "measured instruction budget")
+		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions (excluded from stats)")
+		small     = flag.Bool("small", false, "use the small workload scale")
+		branches  = flag.Bool("branches", false, "print per-branch statistics")
+		chains    = flag.Bool("chains", false, "print the final chain-cache contents")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range br.Workloads() {
+			w, _ := workloads.ByName(name, workloads.SmallScale())
+			fmt.Printf("%-14s %-7s %s\n", name, w.Suite, w.About)
+		}
+		return
+	}
+
+	cfg := br.RunConfig{Warmup: *warmup, MaxInstrs: *instrs}
+	if *small {
+		s := br.SmallScale()
+		cfg.Scale = &s
+	}
+	switch *predictor {
+	case "tage64":
+		cfg.Predictor = br.PredTage64
+	case "tage80":
+		cfg.Predictor = br.PredTage80
+	case "mtage":
+		cfg.Predictor = br.PredMTage
+	case "bimodal":
+		cfg.Predictor = br.PredBimodal
+	case "gshare":
+		cfg.Predictor = br.PredGshare
+	default:
+		fatalf("unknown predictor %q", *predictor)
+	}
+	switch *config {
+	case "baseline":
+	case "core-only":
+		c := br.CoreOnly()
+		cfg.BR = &c
+	case "mini":
+		c := br.Mini()
+		cfg.BR = &c
+	case "big":
+		c := br.Big()
+		cfg.BR = &c
+	default:
+		fatalf("unknown config %q", *config)
+	}
+
+	res, err := br.Run(*workload, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("workload   %s\n", res.Workload)
+	fmt.Printf("config     %s\n", res.Config)
+	fmt.Printf("instrs     %d\n", res.Instrs)
+	fmt.Printf("cycles     %d\n", res.Cycles)
+	fmt.Printf("IPC        %.3f\n", res.IPC)
+	fmt.Printf("MPKI       %.3f\n", res.MPKI)
+	fmt.Printf("branches   %d (%d mispredicted)\n", res.Branches, res.Mispred)
+	if cfg.BR != nil {
+		fmt.Printf("chains     %d installed, avg %.1f uops, %.0f%% with affector/guard triggers\n",
+			res.Chains, res.AvgChainLen, 100*res.AGFraction)
+		fmt.Printf("DCE        %d uops (%d loads), %d syncs\n", res.DCEUops, res.DCELoads, res.Syncs)
+		fmt.Printf("merge acc  %.0f%% (WPB) vs %.0f%% (layout heuristic)\n",
+			100*res.MergeAcc, 100*res.MergeAccLayout)
+		fmt.Printf("breakdown  %v\n", res.Breakdown)
+		if *chains {
+			fmt.Println("\nchain cache contents:")
+			for _, dump := range res.ChainDumps {
+				fmt.Println(dump)
+			}
+		}
+	}
+	if *branches {
+		type row struct {
+			pc           uint64
+			execs, misps uint64
+		}
+		var rows []row
+		for pc, b := range res.PerBranch {
+			rows = append(rows, row{pc, b.Execs, b.Mispred})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].misps > rows[j].misps })
+		fmt.Println("\nper-branch (by mispredictions):")
+		for _, r := range rows {
+			if r.execs == 0 {
+				continue
+			}
+			fmt.Printf("  pc=%-6d execs=%-8d misp=%-8d rate=%.1f%%\n",
+				r.pc, r.execs, r.misps, 100*float64(r.misps)/float64(r.execs))
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "brsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command brtrace prints a per-event pipeline trace of a workload running
+// on the simulator — a debugging lens on fetch, dispatch, issue, complete,
+// retire, squash and flush events, with wrong-path micro-ops marked.
+//
+// Usage:
+//
+//	brtrace -workload leela_17 -start 5000 -cycles 200
+//	brtrace -workload mcf_17 -config mini -stages flush,retire
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/runahead"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "leela_17", "workload kernel name")
+		config   = flag.String("config", "baseline", "baseline | core-only | mini | big")
+		start    = flag.Uint64("start", 10_000, "first cycle to trace")
+		cycles   = flag.Uint64("cycles", 100, "number of cycles to trace")
+		stages   = flag.String("stages", "", "comma-separated stage filter (empty = all)")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*workload, workloads.SmallScale())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brtrace:", err)
+		os.Exit(1)
+	}
+	hier := sim.NewHierarchy()
+	c := core.New(core.DefaultConfig(), w.Prog, bpred.NewTAGESCL64(), hier, nil)
+	switch *config {
+	case "baseline":
+	case "core-only", "mini", "big":
+		var cfg runahead.Config
+		switch *config {
+		case "core-only":
+			cfg = runahead.CoreOnly()
+		case "mini":
+			cfg = runahead.Mini()
+		case "big":
+			cfg = runahead.Big()
+		}
+		sys := runahead.New(cfg, hier.DCache, c.Memory())
+		sys.ShareTLB(hier.DTLB)
+		c.SetExtension(sys)
+	default:
+		fmt.Fprintf(os.Stderr, "brtrace: unknown config %q\n", *config)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*stages, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			want[s] = true
+		}
+	}
+	end := *start + *cycles
+	c.SetTracer(core.TracerFunc(func(cycle uint64, stage string, d *core.DynUop) {
+		if cycle < *start || cycle >= end {
+			return
+		}
+		if len(want) > 0 && !want[stage] {
+			return
+		}
+		mark := " "
+		if d.WrongPath {
+			mark = "W"
+		}
+		extra := ""
+		if d.IsCondBr {
+			src := "tage"
+			if d.UsedDCE {
+				src = "DCE"
+			}
+			extra = fmt.Sprintf("  pred=%-5v actual=%-5v src=%s", d.PredTaken, d.Res.Taken, src)
+			if stage == "flush" {
+				extra += "  MISPREDICT"
+			}
+		}
+		fmt.Printf("%8d  %-8s %s seq=%-8d %s%s\n", cycle, stage, mark, d.Seq,
+			strings.TrimSpace(d.U.String()), extra)
+	}))
+
+	// Run past the trace window, then stop.
+	for c.Now() < end {
+		c.Cycle()
+	}
+}

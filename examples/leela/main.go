@@ -1,0 +1,55 @@
+// The paper's §3 motivating example, end to end: the leela GO-board kernel
+// contains two hard-to-predict branches — A (board[sq] == EMPTY) and B (a
+// self-atari test) that only executes when A falls through. Branch Runahead
+// discovers at runtime that A guards B and that the inner loop branch
+// affects A, extracts direction-tagged dependence chains for each, and
+// pre-computes their outcomes on the Dependence Chain Engine.
+//
+// This example runs the kernel and prints the extracted chains so the
+// guard/affector structure (the paper's Figure 4c/4d) is visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	br "repro"
+)
+
+func main() {
+	scale := br.SmallScale()
+	mini := br.Mini()
+
+	baseline, err := br.Run("leela_17", br.RunConfig{
+		Warmup: 50_000, MaxInstrs: 400_000, Scale: &scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withBR, err := br.Run("leela_17", br.RunConfig{
+		BR: &mini, Warmup: 50_000, MaxInstrs: 400_000, Scale: &scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== leela_17: the paper's Figure 4 example ===")
+	fmt.Printf("\nbaseline:        IPC %.3f, MPKI %.2f\n", baseline.IPC, baseline.MPKI)
+	fmt.Printf("branch runahead: IPC %.3f, MPKI %.2f\n", withBR.IPC, withBR.MPKI)
+	fmt.Printf("merge point prediction accuracy: %.0f%%\n", 100*withBR.MergeAcc)
+	fmt.Printf("chains with affector/guard triggers: %.0f%%\n\n", 100*withBR.AGFraction)
+
+	fmt.Println("extracted dependence chains (the runtime analogue of Figure 4c/4d):")
+	fmt.Println("  - a chain tagged <pc,NT> runs only when its trigger branch is not")
+	fmt.Println("    taken (a guard relationship: the paper's <A,NT> chain for B);")
+	fmt.Println("  - directional self-tags mark branches that affect their own inputs.")
+	fmt.Println()
+	for _, dump := range withBR.ChainDumps {
+		fmt.Println(dump)
+	}
+
+	fmt.Println("prediction breakdown (Figure 12's categories):")
+	for _, k := range []string{"correct", "incorrect", "late", "throttled", "inactive"} {
+		fmt.Printf("  %-10s %d\n", k, withBR.Breakdown[k])
+	}
+}

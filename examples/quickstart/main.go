@@ -1,0 +1,41 @@
+// Quickstart: run one workload with and without Branch Runahead and compare
+// IPC and branch MPKI — the paper's headline experiment in ~20 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	br "repro"
+)
+
+func main() {
+	const workload = "mcf_17"
+	scale := br.SmallScale() // keep the quickstart fast; drop for full runs
+
+	baseline, err := br.Run(workload, br.RunConfig{
+		Warmup: 50_000, MaxInstrs: 300_000, Scale: &scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mini := br.Mini() // the paper's 17KB Table 2 configuration
+	runahead, err := br.Run(workload, br.RunConfig{
+		BR: &mini, Warmup: 50_000, MaxInstrs: 300_000, Scale: &scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n\n", workload)
+	fmt.Printf("%-22s %8s %8s\n", "", "IPC", "MPKI")
+	fmt.Printf("%-22s %8.3f %8.2f\n", "64KB TAGE-SC-L", baseline.IPC, baseline.MPKI)
+	fmt.Printf("%-22s %8.3f %8.2f\n", "+ Mini Branch Runahead", runahead.IPC, runahead.MPKI)
+	fmt.Printf("\nIPC improvement:  %+.1f%%\n", 100*(runahead.IPC/baseline.IPC-1))
+	if baseline.MPKI > 0 {
+		fmt.Printf("MPKI reduction:   %.1f%%\n", 100*(baseline.MPKI-runahead.MPKI)/baseline.MPKI)
+	}
+	fmt.Printf("\nDCE activity: %d chains installed, %d chain uops executed, %d syncs\n",
+		runahead.Chains, runahead.DCEUops, runahead.Syncs)
+}

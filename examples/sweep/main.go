@@ -1,0 +1,37 @@
+// Parameter sweep mirroring the paper's Figure 13: start from the Mini
+// configuration and grow one parameter at a time toward Big, measuring the
+// MPKI improvement each buys. The paper finds window size and chain cache
+// size dominate the Mini-to-Big gap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	br "repro"
+)
+
+func main() {
+	opts := br.QuickExperimentOptions()
+	opts.SweepWorkloads = []string{"mcf_17", "leela_17", "bfs"}
+	opts.Progress = func(line string) { fmt.Println("  " + line) }
+	s := br.NewExperiments(opts)
+
+	fmt.Println("sweeping Mini Branch Runahead parameters toward Big (Figure 13)...")
+	table, points, err := s.Figure13()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(table)
+
+	// Identify the parameter whose growth buys the most.
+	best := points[0]
+	for _, p := range points {
+		if p.MPKIImprovement > best.MPKIImprovement {
+			best = p
+		}
+	}
+	fmt.Printf("largest single-parameter gain: %s=%d (%+.2f%% MPKI vs Mini)\n",
+		best.Param, best.Value, best.MPKIImprovement)
+}

@@ -1,0 +1,394 @@
+// Package cache models the on-chip memory hierarchy: set-associative
+// write-back caches with LRU replacement, MSHR-based miss tracking with
+// same-line merging, banked ports, and a stream prefetcher that prefetches
+// into the last-level cache (Table 1: "Stream: 64 Streams, Distance 16.
+// Prefetch into LLC.").
+//
+// Timing uses a resource-reservation model: every access is resolved at
+// issue time into an absolute completion cycle, with structural state
+// (pending lines, port availability, DRAM bank occupancy) carried forward.
+// This keeps the hierarchy deterministic while preserving the latency
+// distribution — which is what dependence-chain timeliness depends on.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// MemLevel is anything that can service a memory access: a cache level or
+// the DRAM model beneath the hierarchy.
+type MemLevel interface {
+	// Access services a read or write of one line containing addr,
+	// starting no earlier than cycle now, and returns the cycle at which
+	// the data is available.
+	Access(now uint64, addr uint64, write bool) (done uint64)
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency uint64
+	Ports      int
+	// MSHRs bounds outstanding distinct line misses. Zero means unlimited.
+	MSHRs int
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// ready is the cycle the fill completes; hits before it are pending
+	// hits that merge with the outstanding miss.
+	ready uint64
+	lru   uint64
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	nSets    uint64
+	lineOff  uint
+	next     MemLevel
+	lruClock uint64
+
+	// ports holds the next free cycle of each access port.
+	ports []uint64
+
+	// outstanding tracks in-flight misses for MSHR occupancy: completion
+	// cycles of misses issued to the next level.
+	outstanding []uint64
+
+	// Prefetcher, optional; trained on misses of this cache, fills next.
+	pf *StreamPrefetcher
+
+	// Counters: hits, misses, evictions, writebacks, pendingHits.
+	C *stats.Counters
+}
+
+// New builds a cache level over next.
+func New(cfg Config, next MemLevel) *Cache {
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	nSets := nLines / cfg.Ways
+	if nSets <= 0 {
+		panic(fmt.Sprintf("cache %s: set count %d must be positive", cfg.Name, nSets))
+	}
+	lineOff := uint(0)
+	for 1<<lineOff < cfg.LineBytes {
+		lineOff++
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, nSets),
+		nSets:   uint64(nSets),
+		lineOff: lineOff,
+		next:    next,
+		C:       stats.NewCounters(),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	if cfg.Ports > 0 {
+		c.ports = make([]uint64, cfg.Ports)
+	}
+	return c
+}
+
+// AttachPrefetcher installs a stream prefetcher trained on this cache's
+// misses; prefetches are installed into fillInto (the LLC in our
+// configuration).
+func (c *Cache) AttachPrefetcher(pf *StreamPrefetcher, fillInto *Cache) {
+	c.pf = pf
+	pf.fill = fillInto
+}
+
+// Name returns the configured level name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+func (c *Cache) addrSet(addr uint64) (setIdx uint64, tag uint64) {
+	lineAddr := addr >> c.lineOff
+	return lineAddr % c.nSets, lineAddr
+}
+
+// reservePort returns the cycle at which a port is available, reserving it.
+func (c *Cache) reservePort(now uint64) uint64 {
+	if len(c.ports) == 0 {
+		return now
+	}
+	best := 0
+	for i := 1; i < len(c.ports); i++ {
+		if c.ports[i] < c.ports[best] {
+			best = i
+		}
+	}
+	start := now
+	if c.ports[best] > start {
+		start = c.ports[best]
+	}
+	c.ports[best] = start + 1
+	return start
+}
+
+// mshrAdmit returns the earliest cycle a new miss can be issued given MSHR
+// occupancy, and records the miss's completion.
+func (c *Cache) mshrAdmit(now, done uint64) uint64 {
+	if c.cfg.MSHRs <= 0 {
+		return now
+	}
+	// Drop retired entries.
+	live := c.outstanding[:0]
+	for _, d := range c.outstanding {
+		if d > now {
+			live = append(live, d)
+		}
+	}
+	c.outstanding = live
+	start := now
+	if len(c.outstanding) >= c.cfg.MSHRs {
+		// Wait for the earliest outstanding miss to retire.
+		earliest := c.outstanding[0]
+		for _, d := range c.outstanding[1:] {
+			if d < earliest {
+				earliest = d
+			}
+		}
+		if earliest > start {
+			start = earliest
+		}
+		c.C.Inc("mshr_full")
+	}
+	c.outstanding = append(c.outstanding, done)
+	return start
+}
+
+// Access implements MemLevel.
+func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
+	return c.access(now, addr, write, true)
+}
+
+// AccessSecondary services a low-priority read that may only use port
+// cycles the primary requester leaves idle. The paper gives the main
+// thread priority on the D-cache ports ("the DCE may only use these
+// structures when available"); this path models that by not reserving a
+// port, while still paying hit/miss latency and exerting MSHR, L2 and
+// DRAM pressure.
+func (c *Cache) AccessSecondary(now uint64, addr uint64) uint64 {
+	return c.access(now, addr, false, false)
+}
+
+func (c *Cache) access(now uint64, addr uint64, write bool, usePort bool) uint64 {
+	start := now
+	if usePort {
+		start = c.reservePort(now)
+	}
+	setIdx, tag := c.addrSet(addr)
+	set := c.sets[setIdx]
+	c.lruClock++
+
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.lru = c.lruClock
+			if write {
+				l.dirty = true
+			}
+			done := start + c.cfg.HitLatency
+			if l.ready > done {
+				// Pending hit: merge with the outstanding fill.
+				c.C.Inc("pending_hits")
+				return l.ready
+			}
+			c.C.Inc("hits")
+			return done
+		}
+	}
+
+	// Miss: fetch the line from the next level.
+	c.C.Inc("misses")
+	missDone := c.next.Access(start+c.cfg.HitLatency, addr, false)
+	issueAt := c.mshrAdmit(start, missDone)
+	if issueAt > start {
+		// MSHR back-pressure delays the miss.
+		missDone = c.next.Access(issueAt+c.cfg.HitLatency, addr, false)
+	}
+
+	// Victim selection.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid && v.dirty {
+		c.C.Inc("writebacks")
+		c.next.Access(missDone, addrFromTag(v.tag, c.lineOff), true)
+	} else if v.valid {
+		c.C.Inc("evictions")
+	}
+	*v = line{tag: tag, valid: true, dirty: write, ready: missDone, lru: c.lruClock}
+
+	if c.pf != nil {
+		c.pf.Train(missDone, addr)
+	}
+	return missDone
+}
+
+// Probe reports whether addr currently hits (ignoring timing); used by
+// tests and by the prefetcher to avoid redundant fills.
+func (c *Cache) Probe(addr uint64) bool {
+	setIdx, tag := c.addrSet(addr)
+	for i := range c.sets[setIdx] {
+		l := &c.sets[setIdx][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Install inserts a line without demand-access semantics (prefetch fill).
+func (c *Cache) Install(now uint64, addr uint64, ready uint64) {
+	setIdx, tag := c.addrSet(addr)
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return
+		}
+	}
+	c.lruClock++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid && v.dirty {
+		c.C.Inc("writebacks")
+		c.next.Access(now, addrFromTag(v.tag, c.lineOff), true)
+	}
+	*v = line{tag: tag, valid: true, ready: ready, lru: c.lruClock}
+	c.C.Inc("prefetch_fills")
+}
+
+// addrFromTag reconstructs a byte address from a stored tag. Tags keep the
+// full line address (set bits included), so this is a single shift.
+func addrFromTag(tag uint64, lineOff uint) uint64 {
+	return tag << lineOff
+}
+
+// StreamPrefetcher detects sequential miss streams and prefetches ahead
+// into the LLC.
+type StreamPrefetcher struct {
+	streams  []stream
+	distance int
+	degree   int
+	below    MemLevel // level that sources prefetched data (DRAM)
+	fill     *Cache   // level that receives prefetched lines (LLC)
+	lineOff  uint
+	clock    uint64
+	C        *stats.Counters
+}
+
+type stream struct {
+	lastLine uint64
+	dir      int64
+	conf     int
+	valid    bool
+	lru      uint64
+}
+
+// NewStreamPrefetcher builds a prefetcher with nStreams trackers that runs
+// distance lines ahead, sourcing data from below.
+func NewStreamPrefetcher(nStreams, distance int, lineBytes int, below MemLevel) *StreamPrefetcher {
+	lineOff := uint(0)
+	for 1<<lineOff < lineBytes {
+		lineOff++
+	}
+	return &StreamPrefetcher{
+		streams:  make([]stream, nStreams),
+		distance: distance,
+		degree:   2,
+		below:    below,
+		lineOff:  lineOff,
+		C:        stats.NewCounters(),
+	}
+}
+
+// Train observes a demand miss and issues prefetches when a stream is
+// detected.
+func (p *StreamPrefetcher) Train(now uint64, addr uint64) {
+	lineAddr := addr >> p.lineOff
+	p.clock++
+	// Find a matching stream: the miss extends a stream if it lands within
+	// +/- 4 lines of the last observed line.
+	var best *stream
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		delta := int64(lineAddr) - int64(s.lastLine)
+		if delta != 0 && delta >= -4 && delta <= 4 {
+			best = s
+			if (delta > 0) == (s.dir > 0) {
+				s.conf++
+			} else {
+				s.conf = 0
+				s.dir = -s.dir
+			}
+			s.lastLine = lineAddr
+			s.lru = p.clock
+			break
+		}
+	}
+	if best == nil {
+		// Allocate the LRU stream tracker.
+		victim := 0
+		for i := 1; i < len(p.streams); i++ {
+			if !p.streams[i].valid {
+				victim = i
+				break
+			}
+			if p.streams[i].lru < p.streams[victim].lru {
+				victim = i
+			}
+		}
+		p.streams[victim] = stream{lastLine: lineAddr, dir: 1, valid: true, lru: p.clock}
+		return
+	}
+	if best.conf < 2 || p.fill == nil {
+		return
+	}
+	// Confident stream: prefetch degree lines at distance.
+	for d := 1; d <= p.degree; d++ {
+		target := (int64(lineAddr) + best.dir*int64(p.distance+d-1)) << p.lineOff
+		if target < 0 {
+			continue
+		}
+		ta := uint64(target)
+		if p.fill.Probe(ta) {
+			continue
+		}
+		done := p.below.Access(now, ta, false)
+		p.fill.Install(now, ta, done)
+		p.C.Inc("prefetches")
+	}
+}

@@ -1,0 +1,568 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bpred"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/stats"
+)
+
+// BranchStat accumulates per-static-branch outcomes, the raw material of
+// the paper's Figure 1 (misprediction rate of the hardest branches).
+type BranchStat struct {
+	PC         uint64
+	Execs      uint64
+	Mispred    uint64
+	Taken      uint64
+	DCEUsed    uint64
+	DCECorrect uint64
+}
+
+// Core is the cycle-level out-of-order processor.
+type Core struct {
+	cfg  Config
+	prog *program.Program
+	mem  *emu.Memory
+	fe   *frontend
+	bp   bpred.Predictor
+	hier Hierarchy
+	ext  Extension
+
+	now uint64
+	seq uint64
+
+	fetchQ []*DynUop
+	rob    []*DynUop
+	rs     []*DynUop
+
+	lastWriter [isa.NumRegs]*DynUop
+	lsqCount   int
+
+	// mispFetchedUnresolved counts in-flight branches whose predicted
+	// direction contradicts their fetch-time functional outcome; fetch is
+	// on the wrong path whenever it is positive.
+	mispFetchedUnresolved int
+
+	fetchStallUntil uint64
+	lineReadyAt     uint64
+	curFetchLine    uint64
+	haltRetired     bool
+
+	tracer Tracer
+
+	// Stats.
+	C        *stats.Counters
+	Branches map[uint64]*BranchStat
+
+	issueBuf []*DynUop // scratch, reused each cycle
+}
+
+// New wires a core over a program, a committed memory image, a branch
+// predictor, a memory hierarchy and an optional extension.
+func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext Extension) *Core {
+	mem := emu.NewMemory()
+	for _, seg := range p.Data {
+		mem.LoadSegment(seg.Base, seg.Bytes)
+	}
+	c := &Core{
+		cfg:      cfg,
+		prog:     p,
+		mem:      mem,
+		fe:       newFrontend(p, mem),
+		bp:       bp,
+		hier:     hier,
+		ext:      ext,
+		C:        stats.NewCounters(),
+		Branches: make(map[uint64]*BranchStat),
+	}
+	c.curFetchLine = ^uint64(0)
+	return c
+}
+
+// Memory exposes the committed architectural memory (the DCE reads it).
+func (c *Core) Memory() *emu.Memory { return c.mem }
+
+// SetExtension attaches an extension after construction (the Branch
+// Runahead system needs the core's committed memory, which exists only
+// once the core does). Must be called before the first cycle.
+func (c *Core) SetExtension(ext Extension) { c.ext = ext }
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Run executes until maxRetired micro-ops have retired, the program halts,
+// or a safety cycle bound trips. It returns the retired count.
+func (c *Core) Run(maxRetired uint64) (uint64, error) {
+	cycleCap := c.now + maxRetired*200 + 1_000_000
+	for c.C.Get("retired") < maxRetired && !c.haltRetired {
+		if c.now > cycleCap {
+			return c.C.Get("retired"), fmt.Errorf("core: cycle cap exceeded (deadlock?) at cycle %d, retired %d",
+				c.now, c.C.Get("retired"))
+		}
+		c.Cycle()
+	}
+	return c.C.Get("retired"), nil
+}
+
+// Cycle advances the machine one clock.
+func (c *Core) Cycle() {
+	c.retire()
+	c.complete()
+	issued := c.issue()
+	c.dispatch()
+	c.fetch()
+	if c.ext != nil {
+		c.ext.Tick(c.now, TickInfo{
+			SpareIssueSlots: c.cfg.IssueWidth - issued,
+			SpareRS:         c.cfg.RSSize - len(c.rs),
+		})
+	}
+	c.now++
+	c.C.Inc("cycles")
+}
+
+// ---------------------------------------------------------------- retire --
+
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
+		d := c.rob[0]
+		if !d.Done(c.now) {
+			return
+		}
+		c.rob = c.rob[1:]
+		d.State = StRetired
+		c.trace("retire", d)
+		c.C.Inc("retired")
+		if d.U.Op.IsMem() {
+			c.lsqCount--
+		}
+		if d.IsStore() {
+			c.fe.retireStore(d)
+			// Commit the store's data into the cache hierarchy.
+			c.hier.DCache.Access(c.now, d.Res.MemAddr, true)
+		}
+		if d.IsCondBr {
+			c.retireBranch(d)
+		}
+		if c.ext != nil {
+			c.ext.Retired(c.now, d)
+		}
+		if d.U.Op == isa.OpHalt {
+			c.haltRetired = true
+			return
+		}
+	}
+}
+
+func (c *Core) retireBranch(d *DynUop) {
+	c.C.Inc("retired_cond_branches")
+	bs := c.Branches[d.U.PC]
+	if bs == nil {
+		bs = &BranchStat{PC: d.U.PC}
+		c.Branches[d.U.PC] = bs
+	}
+	bs.Execs++
+	if d.Res.Taken {
+		bs.Taken++
+	}
+	if d.PredTaken != d.Res.Taken {
+		c.C.Inc("mispredicts")
+		bs.Mispred++
+	}
+	if d.UsedDCE {
+		bs.DCEUsed++
+		c.C.Inc("dce_predictions_used")
+		if d.PredTaken == d.Res.Taken {
+			bs.DCECorrect++
+		}
+	}
+	c.bp.Commit(d.U.PC, d.Res.Taken, d.TagePred, d.PredInfo)
+}
+
+// -------------------------------------------------------------- complete --
+
+func (c *Core) complete() {
+	// Collect micro-ops whose execution finishes by now, oldest first, so
+	// branch recoveries trigger in program order.
+	var resolved []*DynUop
+	for _, d := range c.rob {
+		if d.State == StIssued && d.DoneAt <= c.now {
+			d.State = StDone
+			c.trace("complete", d)
+			if d.IsCondBr {
+				resolved = append(resolved, d)
+			}
+		}
+	}
+	if len(resolved) == 0 {
+		return
+	}
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i].Seq < resolved[j].Seq })
+	for _, d := range resolved {
+		if d.State == StSquashed {
+			continue
+		}
+		c.resolveBranch(d)
+	}
+}
+
+// releaseWP removes d from the wrong-path tracker, exactly once.
+func (c *Core) releaseWP(d *DynUop) {
+	if d.wpCounted {
+		d.wpCounted = false
+		c.mispFetchedUnresolved--
+	}
+}
+
+func (c *Core) resolveBranch(d *DynUop) {
+	mispred := d.PredTaken != d.Res.Taken
+	d.Mispred = mispred
+	// This branch no longer steers fetch down a wrong path.
+	c.releaseWP(d)
+	var correctRegs *emu.RegFile
+	if mispred {
+		c.recoverAt(d)
+		if !d.WrongPath {
+			regs := c.fe.regs
+			correctRegs = &regs
+			c.C.Inc("recoveries")
+		}
+	}
+	if c.ext != nil {
+		c.ext.BranchResolved(c.now, d, correctRegs)
+	}
+}
+
+// recoverAt flushes everything younger than d and redirects fetch down d's
+// resolved direction.
+func (c *Core) recoverAt(d *DynUop) {
+	// Squash younger ROB entries, preserving program order for the
+	// extension's ROB walk (Wrong Path Buffer fill).
+	cut := len(c.rob)
+	for i, e := range c.rob {
+		if e.Seq > d.Seq {
+			cut = i
+			break
+		}
+	}
+	squashed := make([]*DynUop, len(c.rob)-cut)
+	copy(squashed, c.rob[cut:])
+	c.rob = c.rob[:cut]
+	if c.ext != nil {
+		// The forward ROB walk that fills the Wrong Path Buffer: squashed
+		// micro-ops in program order, starting just after the branch.
+		c.ext.Flush(c.now, d, squashed)
+	}
+	c.trace("flush", d)
+	for _, e := range squashed {
+		if e.State != StSquashed {
+			if e.U.Op.IsMem() {
+				c.lsqCount--
+			}
+			c.releaseWP(e)
+			e.State = StSquashed
+			c.trace("squash", e)
+		}
+	}
+	// Squash the entire fetch queue (it is younger than any ROB entry).
+	for _, e := range c.fetchQ {
+		c.releaseWP(e)
+		e.State = StSquashed
+	}
+	c.fetchQ = c.fetchQ[:0]
+	// Drop squashed reservation-station entries.
+	live := c.rs[:0]
+	for _, e := range c.rs {
+		if e.State == StInRS {
+			live = append(live, e)
+		}
+	}
+	c.rs = live
+	// Rebuild the register rename table from the surviving ROB.
+	c.lastWriter = [isa.NumRegs]*DynUop{}
+	var dstBuf [2]isa.Reg
+	for _, e := range c.rob {
+		for _, r := range e.U.DstRegs(dstBuf[:0]) {
+			c.lastWriter[r] = e
+		}
+	}
+	// Restore front-end, predictor history and extension fetch state, then
+	// redirect fetch down the resolved direction.
+	target := d.Res.FallThrou
+	if d.Res.Taken {
+		target = d.Res.Target
+	}
+	c.fe.recover(d.feSnap, target, d.Seq)
+	c.bp.Restore(d.bpSnap)
+	c.bp.OnFetch(d.U.PC, d.Res.Taken)
+	if c.ext != nil {
+		c.ext.Restore(d.extSnap)
+	}
+	c.fetchStallUntil = c.now + c.cfg.RedirectPenalty
+	c.curFetchLine = ^uint64(0)
+	c.C.Inc("flushes")
+}
+
+// ----------------------------------------------------------------- issue --
+
+func opLatency(cfg *Config, op isa.Op) uint64 {
+	switch op {
+	case isa.OpMul:
+		return cfg.MulLatency
+	case isa.OpDiv:
+		return cfg.DivLatency
+	case isa.OpFAdd, isa.OpFMul:
+		return cfg.FPLatency
+	default:
+		return 1
+	}
+}
+
+func (c *Core) issue() int {
+	if len(c.rs) == 0 {
+		return 0
+	}
+	// Gather ready candidates, oldest first.
+	cand := c.issueBuf[:0]
+	for _, d := range c.rs {
+		if c.uopReady(d) {
+			cand = append(cand, d)
+		}
+	}
+	c.issueBuf = cand
+	sort.Slice(cand, func(i, j int) bool { return cand[i].Seq < cand[j].Seq })
+
+	issued, aluUsed, memUsed := 0, 0, 0
+	for _, d := range cand {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		if d.U.Op.IsMem() {
+			if memUsed >= c.cfg.MemPorts {
+				continue
+			}
+			memUsed++
+		} else {
+			if aluUsed >= c.cfg.IntALUs {
+				continue
+			}
+			aluUsed++
+		}
+		c.execute(d)
+		issued++
+	}
+	if issued > 0 {
+		// Remove issued entries from the reservation stations.
+		live := c.rs[:0]
+		for _, d := range c.rs {
+			if d.State == StInRS {
+				live = append(live, d)
+			}
+		}
+		c.rs = live
+	}
+	return issued
+}
+
+func (c *Core) uopReady(d *DynUop) bool {
+	for _, p := range d.prods {
+		if !p.Done(c.now) && p.State != StSquashed {
+			return false
+		}
+	}
+	if d.IsLoad() && d.storeDep != nil {
+		sd := d.storeDep
+		if sd.State != StSquashed && sd.State != StRetired && !sd.Done(c.now) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) execute(d *DynUop) {
+	d.State = StIssued
+	c.trace("issue", d)
+	c.C.Inc("issued")
+	switch {
+	case d.IsLoad():
+		c.C.Inc("issued_loads")
+		if d.storeDep != nil {
+			// Store-to-load forwarding from the in-flight producer.
+			d.DoneAt = c.now + 1
+			c.C.Inc("store_forwards")
+		} else {
+			start := c.now
+			if c.hier.DTLB != nil {
+				start = c.hier.DTLB.Translate(c.now, d.Res.MemAddr)
+			}
+			d.DoneAt = c.hier.DCache.Access(start, d.Res.MemAddr, false)
+		}
+	case d.IsStore():
+		// Address generation; data commits at retire.
+		d.DoneAt = c.now + 1
+	default:
+		d.DoneAt = c.now + opLatency(&c.cfg, d.U.Op)
+	}
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (c *Core) dispatch() {
+	n := 0
+	for n < c.cfg.FetchWidth && len(c.fetchQ) > 0 {
+		d := c.fetchQ[0]
+		if d.ReadyAt > c.now {
+			return
+		}
+		if len(c.rob) >= c.cfg.ROBSize || len(c.rs) >= c.cfg.RSSize {
+			c.C.Inc("dispatch_stall_backend")
+			return
+		}
+		if d.U.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
+			c.C.Inc("dispatch_stall_lsq")
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+		c.rename(d)
+		c.rob = append(c.rob, d)
+		c.rs = append(c.rs, d)
+		d.State = StInRS
+		c.trace("dispatch", d)
+		if d.U.Op.IsMem() {
+			c.lsqCount++
+		}
+		n++
+	}
+}
+
+// rename resolves d's register sources to producing micro-ops.
+func (c *Core) rename(d *DynUop) {
+	var srcBuf [4]isa.Reg
+	for _, r := range d.U.SrcRegs(srcBuf[:0]) {
+		if w := c.lastWriter[r]; w != nil && w.State != StSquashed && w.State != StRetired {
+			d.prods = append(d.prods, w)
+		}
+	}
+	var dstBuf [2]isa.Reg
+	for _, r := range d.U.DstRegs(dstBuf[:0]) {
+		c.lastWriter[r] = d
+	}
+}
+
+// ----------------------------------------------------------------- fetch --
+
+func (c *Core) fetch() {
+	if c.now < c.fetchStallUntil || len(c.fetchQ) >= c.cfg.FetchQSize {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQSize; n++ {
+		if c.fe.invalid || c.fe.halted {
+			return
+		}
+		// Instruction cache: one access per new line, plus a next-line
+		// prefetch so sequential fetch does not stall on every cold line.
+		lineBytes := uint64(c.hier.ICache.LineBytes())
+		line := (c.fe.pc * c.cfg.UopBytes) / lineBytes
+		if line != c.curFetchLine {
+			c.curFetchLine = line
+			c.lineReadyAt = c.hier.ICache.Access(c.now, c.fe.pc*c.cfg.UopBytes, false)
+			c.hier.ICache.AccessSecondary(c.now, (line+1)*lineBytes)
+		}
+		if c.lineReadyAt > c.now {
+			c.C.Inc("fetch_stall_icache")
+			return
+		}
+
+		pc := c.fe.pc
+		c.seq++
+		wrongPath := c.mispFetchedUnresolved > 0
+		var d *DynUop
+		if u := c.prog.At(pc); u != nil && u.Op.IsCondBranch() {
+			d = c.fetchCondBranch(pc)
+		} else {
+			d = c.fe.fetchUop(c.seq)
+		}
+		if d == nil {
+			return
+		}
+		d.WrongPath = wrongPath
+		d.ReadyAt = c.now + c.cfg.FrontendDepth
+		c.fetchQ = append(c.fetchQ, d)
+		c.trace("fetch", d)
+		c.C.Inc("fetched")
+		if d.WrongPath {
+			c.C.Inc("fetched_wrong_path")
+		}
+		if d.U.Op == isa.OpHalt && !d.WrongPath {
+			return
+		}
+		// A taken control transfer ends the fetch group.
+		if d.U.Op.IsBranch() && d.PredOrActualTaken() {
+			c.curFetchLine = ^uint64(0)
+			return
+		}
+	}
+}
+
+// PredOrActualTaken reports the direction fetch followed for this branch:
+// the prediction for conditional branches, the actual target for jumps.
+func (d *DynUop) PredOrActualTaken() bool {
+	if d.IsCondBr {
+		return d.PredTaken
+	}
+	return d.Res.Taken
+}
+
+func (c *Core) fetchCondBranch(pc uint64) *DynUop {
+	// Order matters: the prediction and all checkpoints must be taken
+	// against pre-branch state, and the extension checkpoint before the
+	// extension consumes a prediction-queue slot.
+	bpSnap := c.bp.Checkpoint()
+	var extSnap interface{}
+	if c.ext != nil {
+		extSnap = c.ext.Checkpoint()
+	}
+	wrongPath := c.mispFetchedUnresolved > 0
+
+	basePred, info := c.bp.Predict(pc)
+	d := c.fe.fetchUop(c.seq)
+	if d == nil {
+		return nil
+	}
+	d.IsCondBr = true
+	d.WrongPath = wrongPath
+	d.TagePred = basePred
+	d.PredInfo = info
+	d.bpSnap = bpSnap
+	d.extSnap = extSnap
+	d.feSnap = c.fe.checkpoint()
+
+	pred := basePred
+	if c.ext != nil {
+		var fromDCE bool
+		pred, fromDCE = c.ext.FetchCondBranch(c.now, d, basePred)
+		d.UsedDCE = fromDCE
+	}
+	d.PredTaken = pred
+	c.bp.OnFetch(pc, pred)
+
+	// Steer fetch down the predicted direction (the functional step already
+	// advanced down the resolved direction; registers are unaffected).
+	if pred {
+		c.fe.redirect(d.Res.Target)
+	} else {
+		c.fe.redirect(d.Res.FallThrou)
+	}
+	if pred != d.Res.Taken {
+		d.wpCounted = true
+		c.mispFetchedUnresolved++
+	}
+
+	// Memory dependence for younger loads is recorded in fetchUop; for the
+	// branch itself there is none.
+	return d
+}

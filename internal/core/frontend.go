@@ -1,0 +1,142 @@
+package core
+
+import (
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// storeRec is one in-flight store visible to younger fetch-time loads.
+type storeRec struct {
+	d    *DynUop
+	addr uint64
+	size uint8
+	val  uint64
+}
+
+// feCheckpoint snapshots the front-end functional state before a branch.
+// The store overlay is not copied: recovery trims it by sequence number.
+type feCheckpoint struct {
+	regs    emu.RegFile
+	invalid bool
+	halted  bool
+}
+
+// frontend is the execution-driven fetch engine: it executes micro-ops
+// functionally at fetch time, following predicted branch directions (and so
+// walking real wrong paths), with in-flight stores forwarded to younger
+// loads through the overlay.
+type frontend struct {
+	prog *program.Program
+	mem  *emu.Memory // committed architectural memory
+	regs emu.RegFile
+	pc   uint64
+
+	stores []storeRec
+
+	// invalid is set when fetch has run off the program (possible only on
+	// the wrong path); fetch stalls until a recovery redirects it.
+	invalid bool
+	// halted is set when OpHalt is fetched on the correct path.
+	halted bool
+}
+
+func newFrontend(p *program.Program, mem *emu.Memory) *frontend {
+	return &frontend{prog: p, mem: mem, pc: p.Entry}
+}
+
+// Load implements emu.MemView: committed memory patched with in-flight
+// stores, youngest-writer-wins per byte.
+func (f *frontend) Load(addr uint64, size uint8, signed bool) uint64 {
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		a := addr + uint64(i)
+		b := f.mem.ByteAt(a)
+		for j := len(f.stores) - 1; j >= 0; j-- {
+			s := &f.stores[j]
+			if a >= s.addr && a < s.addr+uint64(s.size) {
+				b = byte(s.val >> (8 * (a - s.addr)))
+				break
+			}
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	if signed {
+		v = emu.SignExtend(v, size)
+	}
+	return v
+}
+
+// Store implements emu.MemView; the store record is appended by fetchUop
+// (which knows the DynUop), so this is a no-op hook.
+func (f *frontend) Store(uint64, uint8, uint64) {}
+
+// checkpoint captures the register state and stall flag.
+func (f *frontend) checkpoint() feCheckpoint {
+	return feCheckpoint{regs: f.regs, invalid: f.invalid, halted: f.halted}
+}
+
+// recover restores the checkpointed state, trims wrong-path stores and
+// redirects fetch to pc.
+func (f *frontend) recover(cp feCheckpoint, pc uint64, causeSeq uint64) {
+	f.regs = cp.regs
+	f.invalid = false
+	f.halted = cp.halted
+	f.pc = pc
+	n := len(f.stores)
+	for n > 0 && f.stores[n-1].d.Seq > causeSeq {
+		n--
+	}
+	f.stores = f.stores[:n]
+}
+
+// retireStore commits the oldest overlay store to architectural memory.
+func (f *frontend) retireStore(d *DynUop) {
+	if len(f.stores) == 0 || f.stores[0].d != d {
+		// The overlay is strictly ordered; a mismatch means the pipeline
+		// retired a store the front-end never recorded.
+		panic("core: store overlay out of sync at retire")
+	}
+	s := f.stores[0]
+	f.stores = f.stores[1:]
+	f.mem.Write(s.addr, s.size, s.val)
+}
+
+// fetchUop functionally executes the micro-op at the current fetch PC and
+// returns its effects. It returns nil when fetch is stalled (off-program PC
+// or halt seen).
+func (f *frontend) fetchUop(seq uint64) *DynUop {
+	if f.invalid || f.halted {
+		return nil
+	}
+	u := f.prog.At(f.pc)
+	if u == nil {
+		f.invalid = true
+		return nil
+	}
+	d := &DynUop{Seq: seq, U: u}
+	st := emu.State{Regs: f.regs, PC: f.pc}
+	d.Res = st.Step(u, f)
+	f.regs = st.Regs
+	f.pc = st.PC
+	switch u.Op {
+	case isa.OpSt:
+		f.stores = append(f.stores, storeRec{d: d, addr: d.Res.MemAddr, size: d.Res.MemSize, val: d.Res.StoreVal})
+	case isa.OpLd:
+		// Record the youngest older in-flight store this load overlaps:
+		// the backend forwards from it rather than accessing the cache.
+		for j := len(f.stores) - 1; j >= 0; j-- {
+			sr := &f.stores[j]
+			if d.Res.MemAddr < sr.addr+uint64(sr.size) && sr.addr < d.Res.MemAddr+uint64(d.Res.MemSize) {
+				d.storeDep = sr.d
+				break
+			}
+		}
+	case isa.OpHalt:
+		f.halted = true
+	}
+	return d
+}
+
+// redirect forces the next fetch PC (used to steer down a predicted path).
+func (f *frontend) redirect(pc uint64) { f.pc = pc }

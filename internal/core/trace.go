@@ -1,0 +1,26 @@
+package core
+
+// Tracer observes pipeline events for debugging and visualization
+// (cmd/brtrace). Tracing is off unless SetTracer is called; the hooks cost
+// one nil check per event when disabled.
+type Tracer interface {
+	// Event reports one pipeline event for a dynamic micro-op. Stages:
+	// "fetch", "dispatch", "issue", "complete", "retire", "squash",
+	// "flush" (the recovering branch).
+	Event(cycle uint64, stage string, d *DynUop)
+}
+
+// SetTracer attaches a pipeline tracer (nil disables tracing).
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+func (c *Core) trace(stage string, d *DynUop) {
+	if c.tracer != nil {
+		c.tracer.Event(c.now, stage, d)
+	}
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(cycle uint64, stage string, d *DynUop)
+
+// Event implements Tracer.
+func (f TracerFunc) Event(cycle uint64, stage string, d *DynUop) { f(cycle, stage, d) }

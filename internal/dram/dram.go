@@ -1,0 +1,171 @@
+// Package dram models a DDR4-style main memory in the role Ramulator plays
+// for the paper: channels, ranks and banks with open-row policy, bank-level
+// parallelism, a bounded memory queue, and FR-FCFS-flavoured service where
+// row hits are cheap and row conflicts pay precharge + activate.
+//
+// Timing is expressed in core cycles (3.2 GHz core over DDR4-2400-class
+// device timings) and resolved with the same resource-reservation scheme as
+// the cache hierarchy: each request reserves its bank and the shared data
+// bus and returns an absolute completion cycle.
+package dram
+
+import "repro/internal/stats"
+
+// Config holds the memory geometry and timing parameters.
+type Config struct {
+	Channels    int
+	BanksPerCh  int
+	RowBytes    int
+	QueueSize   int // memory controller queue entries per channel (Table 1: 64)
+	CtrlLatency uint64
+
+	// Timings in core cycles.
+	TCAS     uint64 // column access (row already open)
+	TRCD     uint64 // activate to column access
+	TRP      uint64 // precharge
+	TBus     uint64 // data burst occupancy of the channel bus
+	RowCycle uint64 // minimum spacing between activations of a bank
+}
+
+// DefaultConfig returns DDR4-2400-class timings for a 3.2 GHz core: a row
+// hit lands around 50 core cycles and a row conflict around 130 after
+// controller overheads.
+func DefaultConfig() Config {
+	return Config{
+		Channels:    1,
+		BanksPerCh:  16,
+		RowBytes:    2048,
+		QueueSize:   64,
+		CtrlLatency: 18,
+		TCAS:        37,
+		TRCD:        37,
+		TRP:         37,
+		TBus:        4,
+		RowCycle:    100,
+	}
+}
+
+type bank struct {
+	openRow   int64 // -1 when precharged
+	freeAt    uint64
+	lastActAt uint64
+}
+
+type channel struct {
+	banks []bank
+	busAt uint64
+	// queue holds completion cycles of in-flight requests for occupancy
+	// back-pressure.
+	queue []uint64
+}
+
+// DRAM is the memory device. It implements cache.MemLevel.
+type DRAM struct {
+	cfg Config
+	chs []channel
+	C   *stats.Counters
+}
+
+// New builds a DRAM from cfg.
+func New(cfg Config) *DRAM {
+	d := &DRAM{cfg: cfg, C: stats.NewCounters()}
+	d.chs = make([]channel, cfg.Channels)
+	for i := range d.chs {
+		d.chs[i].banks = make([]bank, cfg.BanksPerCh)
+		for b := range d.chs[i].banks {
+			d.chs[i].banks[b].openRow = -1
+		}
+	}
+	return d
+}
+
+// Access implements the memory side of the hierarchy: it services a line
+// read or write-back beginning no earlier than now and returns the
+// completion cycle.
+func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
+	chIdx := int(addr>>6) % d.cfg.Channels
+	ch := &d.chs[chIdx]
+
+	// Queue back-pressure: if the controller queue is full, the request
+	// waits for the earliest in-flight request to drain.
+	start := now + d.cfg.CtrlLatency
+	if d.cfg.QueueSize > 0 {
+		live := ch.queue[:0]
+		for _, c := range ch.queue {
+			if c > now {
+				live = append(live, c)
+			}
+		}
+		ch.queue = live
+		if len(ch.queue) >= d.cfg.QueueSize {
+			earliest := ch.queue[0]
+			for _, c := range ch.queue[1:] {
+				if c < earliest {
+					earliest = c
+				}
+			}
+			if earliest > start {
+				start = earliest
+			}
+			d.C.Inc("queue_full")
+		}
+	}
+
+	// Row:bank:column mapping: a row's bytes are contiguous within one
+	// bank, consecutive rows interleave across banks. This preserves row
+	// locality for streaming access while spreading traffic over banks.
+	rowChunk := addr / uint64(d.cfg.RowBytes)
+	bIdx := int(rowChunk) % len(ch.banks)
+	row := int64(rowChunk) / int64(len(ch.banks))
+	b := &ch.banks[bIdx]
+
+	if b.freeAt > start {
+		start = b.freeAt
+		d.C.Inc("bank_conflicts")
+	}
+
+	var lat uint64
+	switch {
+	case b.openRow == row:
+		lat = d.cfg.TCAS
+		d.C.Inc("row_hits")
+	case b.openRow < 0:
+		lat = d.cfg.TRCD + d.cfg.TCAS
+		d.C.Inc("row_misses")
+		// Respect the activate-to-activate window.
+		if b.lastActAt+d.cfg.RowCycle > start {
+			start = b.lastActAt + d.cfg.RowCycle
+		}
+		b.lastActAt = start
+	default:
+		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		d.C.Inc("row_conflicts")
+		if b.lastActAt+d.cfg.RowCycle > start {
+			start = b.lastActAt + d.cfg.RowCycle
+		}
+		b.lastActAt = start
+	}
+	b.openRow = row
+
+	done := start + lat
+	// Reserve the shared data bus for the burst.
+	if ch.busAt > done {
+		done = ch.busAt
+		d.C.Inc("bus_conflicts")
+	}
+	ch.busAt = done + d.cfg.TBus
+	done += d.cfg.TBus
+
+	b.freeAt = done
+	if d.cfg.QueueSize > 0 {
+		ch.queue = append(ch.queue, done)
+	}
+	if write {
+		d.C.Inc("writes")
+		// Write data is buffered; the caller need not wait for the array
+		// write, only for queue admission.
+		return start
+	}
+	d.C.Inc("reads")
+	return done
+}

@@ -1,0 +1,193 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// RegFile holds the architectural register values including the packed
+// condition codes at index isa.RegFlags. It is a value type so checkpointing
+// is a plain copy.
+type RegFile [isa.NumRegs]uint64
+
+// Get returns the value of r.
+func (rf *RegFile) Get(r isa.Reg) uint64 {
+	if !r.Valid() {
+		return 0
+	}
+	return rf[r]
+}
+
+// Set assigns the value of r.
+func (rf *RegFile) Set(r isa.Reg, v uint64) {
+	if r.Valid() {
+		rf[r] = v
+	}
+}
+
+// Flags returns the unpacked condition codes.
+func (rf *RegFile) Flags() isa.Flags { return isa.UnpackFlags(rf[isa.RegFlags]) }
+
+// SetFlags stores the condition codes.
+func (rf *RegFile) SetFlags(f isa.Flags) { rf[isa.RegFlags] = f.Pack() }
+
+// StepResult describes the architectural effects of one micro-op.
+type StepResult struct {
+	NextPC uint64 // PC of the next micro-op on this path
+	// Value is the result written to the destination register, when any.
+	Value    uint64
+	WroteDst bool
+	// Branch outcome.
+	IsBranch  bool
+	IsCond    bool
+	Taken     bool
+	Target    uint64 // taken target for branches
+	FallThrou uint64 // fall-through PC for branches
+	// Memory effects.
+	IsMem    bool
+	IsLoad   bool
+	MemAddr  uint64
+	MemSize  uint8
+	StoreVal uint64 // value stored by OpSt
+	// Halted is set by OpHalt.
+	Halted bool
+}
+
+// State is a functional machine state: registers plus a program counter.
+// Memory is supplied per-step through a MemView so callers control
+// speculation.
+type State struct {
+	Regs RegFile
+	PC   uint64
+}
+
+// NewState returns a state positioned at the program entry.
+func NewState(p *program.Program) *State {
+	return &State{PC: p.Entry}
+}
+
+// MemAddress computes the effective address of a memory micro-op under the
+// current register values.
+func MemAddress(u *isa.Uop, regs *RegFile) uint64 {
+	addr := regs.Get(u.Src1) + uint64(u.Imm)
+	if u.Scale > 0 {
+		addr += regs.Get(u.Src2) * uint64(u.Scale)
+	}
+	return addr
+}
+
+// Step executes one micro-op, mutating the state and returning its effects.
+// The micro-op is executed on this state's registers with memory observed
+// through mem. Step never fails: unmapped loads read zero, making wrong-path
+// execution total.
+func (s *State) Step(u *isa.Uop, mem MemView) StepResult {
+	res := StepResult{NextPC: u.PC + 1}
+	switch u.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		res.Halted = true
+		res.NextPC = u.PC
+	case isa.OpBr:
+		res.IsBranch = true
+		res.IsCond = true
+		res.Target = uint64(u.Imm)
+		res.FallThrou = u.PC + 1
+		res.Taken = u.Cond.Eval(s.Regs.Flags())
+		if res.Taken {
+			res.NextPC = res.Target
+		}
+	case isa.OpJmp:
+		res.IsBranch = true
+		res.Taken = true
+		res.Target = uint64(u.Imm)
+		res.FallThrou = u.PC + 1
+		res.NextPC = res.Target
+	case isa.OpCmp:
+		b := s.operand2(u)
+		s.Regs.SetFlags(isa.CompareFlags(s.Regs.Get(u.Src1), b))
+	case isa.OpTest:
+		b := s.operand2(u)
+		s.Regs.SetFlags(isa.TestFlags(s.Regs.Get(u.Src1), b))
+	case isa.OpLd:
+		res.IsMem = true
+		res.IsLoad = true
+		res.MemAddr = MemAddress(u, &s.Regs)
+		res.MemSize = u.MemSize
+		v := mem.Load(res.MemAddr, u.MemSize, u.Signed)
+		s.Regs.Set(u.Dst, v)
+		res.Value = v
+		res.WroteDst = true
+	case isa.OpSt:
+		res.IsMem = true
+		res.MemAddr = MemAddress(u, &s.Regs)
+		res.MemSize = u.MemSize
+		res.StoreVal = s.Regs.Get(u.Dst)
+		mem.Store(res.MemAddr, u.MemSize, res.StoreVal)
+	default:
+		// Data operations.
+		a := s.Regs.Get(u.Src1)
+		b := s.operand2(u)
+		v := isa.ALUResult(u.Op, a, b, u.Imm)
+		s.Regs.Set(u.Dst, v)
+		res.Value = v
+		res.WroteDst = true
+	}
+	s.PC = res.NextPC
+	return res
+}
+
+func (s *State) operand2(u *isa.Uop) uint64 {
+	if u.UseImm {
+		return uint64(u.Imm)
+	}
+	return s.Regs.Get(u.Src2)
+}
+
+// Runner couples a program, a memory and a state for plain functional
+// execution (used by tests and by workload self-checks).
+type Runner struct {
+	Prog  *program.Program
+	Mem   *Memory
+	State *State
+	// Steps counts executed micro-ops.
+	Steps uint64
+}
+
+// NewRunner loads the program's data segments into a fresh memory and
+// positions a state at the entry point.
+func NewRunner(p *program.Program) *Runner {
+	m := NewMemory()
+	for _, seg := range p.Data {
+		m.LoadSegment(seg.Base, seg.Bytes)
+	}
+	return &Runner{Prog: p, Mem: m, State: NewState(p)}
+}
+
+// StepOne executes the micro-op at the current PC.
+func (r *Runner) StepOne() (StepResult, error) {
+	u := r.Prog.At(r.State.PC)
+	if u == nil {
+		return StepResult{}, fmt.Errorf("emu: pc %d outside program %q", r.State.PC, r.Prog.Name)
+	}
+	r.Steps++
+	return r.State.Step(u, DirectMem{r.Mem}), nil
+}
+
+// Run executes up to maxSteps micro-ops, stopping at OpHalt. It returns the
+// number of micro-ops executed and whether the program halted.
+func (r *Runner) Run(maxSteps uint64) (uint64, bool, error) {
+	var n uint64
+	for n < maxSteps {
+		res, err := r.StepOne()
+		if err != nil {
+			return n, false, err
+		}
+		n++
+		if res.Halted {
+			return n, true, nil
+		}
+	}
+	return n, false, nil
+}

@@ -1,0 +1,109 @@
+// Package energy provides the analytical area and energy model standing in
+// for McPAT. Area constants are calibrated to the paper's §5.2 numbers
+// (22nm: baseline out-of-order core 16.96 mm², 64KB TAGE-SC-L 0.73 mm², DCE
+// 0.38 mm² split 0.09/0.15/0.14 between chain cache, execution resources
+// and extraction+HBT). Energy combines static power over the run's cycles
+// with per-event dynamic energies, which is exactly the structure McPAT's
+// outputs contribute to Figure 14: Branch Runahead adds structures and
+// extra micro-ops but usually wins the static-energy race by finishing
+// sooner.
+package energy
+
+// Area constants in mm² at 22nm (paper §5.2).
+const (
+	CoreAreaMM2 = 16.96
+	TageAreaMM2 = 0.73
+
+	dceChainCacheMM2 = 0.09 // per 32-entry chain cache
+	dceExecMM2       = 0.15 // FUs, reservation stations, registers (Mini window)
+	dceExtractMM2    = 0.14 // chain extraction + HBT
+)
+
+// Event energies in nanojoules (order-of-magnitude constants; only the
+// relative composition matters for Figure 14's deltas).
+const (
+	eUopIssue   = 0.05
+	eLoad       = 0.10
+	eL2Access   = 0.35
+	eDRAMAccess = 2.00
+	eFlush      = 0.50
+	eDCEUop     = 0.03 // smaller structures, fewer ports than the core
+	eDCELoad    = 0.10
+	eSync       = 0.30 // live-in copy from the physical register file
+
+	// Static power in watts.
+	pCoreStatic = 2.0
+	pDCEStatic  = 0.06
+)
+
+// clockGHz is the Table 1 core clock.
+const clockGHz = 3.2
+
+// DCEConfigArea describes the sizing knobs that affect DCE area.
+type DCEConfigArea struct {
+	ChainCacheEntries int
+	Window            int
+	SharedWithCore    bool
+	HBTEntries        int
+}
+
+// DCEArea returns the DCE area in mm², scaled from the Mini reference
+// point (32-entry chain cache, 64-instance window, 64-entry HBT).
+func DCEArea(cfg DCEConfigArea) float64 {
+	a := dceChainCacheMM2 * float64(cfg.ChainCacheEntries) / 32
+	if !cfg.SharedWithCore {
+		a += dceExecMM2 * float64(cfg.Window) / 64
+	}
+	a += dceExtractMM2 * (0.5 + 0.5*float64(cfg.HBTEntries)/64)
+	return a
+}
+
+// DCEAreaFraction returns the DCE area as a fraction of the baseline core.
+func DCEAreaFraction(cfg DCEConfigArea) float64 {
+	return DCEArea(cfg) / CoreAreaMM2
+}
+
+// RunActivity summarizes the event counts of one simulation.
+type RunActivity struct {
+	Cycles       uint64
+	CoreUops     uint64
+	CoreLoads    uint64
+	L2Accesses   uint64
+	DRAMAccesses uint64
+	Flushes      uint64
+
+	// Branch Runahead activity (zero for the baseline).
+	DCEUops  uint64
+	DCELoads uint64
+	Syncs    uint64
+	HasDCE   bool
+}
+
+// Energy returns the modeled total energy of the run in nanojoules.
+func Energy(a RunActivity) float64 {
+	seconds := float64(a.Cycles) / (clockGHz * 1e9)
+	e := pCoreStatic * seconds * 1e9 // W * s -> nJ
+	e += eUopIssue * float64(a.CoreUops)
+	e += eLoad * float64(a.CoreLoads)
+	e += eL2Access * float64(a.L2Accesses)
+	e += eDRAMAccess * float64(a.DRAMAccesses)
+	e += eFlush * float64(a.Flushes)
+	if a.HasDCE {
+		e += pDCEStatic * seconds * 1e9
+		e += eDCEUop * float64(a.DCEUops)
+		e += eDCELoad * float64(a.DCELoads)
+		e += eSync * float64(a.Syncs)
+	}
+	return e
+}
+
+// Delta returns the energy change of br relative to base in percent
+// (negative = Branch Runahead saves energy, the common case in Figure 14).
+func Delta(base, br RunActivity) float64 {
+	eb := Energy(base)
+	er := Energy(br)
+	if eb == 0 {
+		return 0
+	}
+	return 100 * (er - eb) / eb
+}

@@ -1,0 +1,73 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDCEAreaMatchesPaper(t *testing.T) {
+	// The Mini-shaped DCE must land near the paper's 0.38 mm² / 2.2% of a
+	// 16.96 mm² core (§5.2).
+	mini := DCEConfigArea{ChainCacheEntries: 32, Window: 64, HBTEntries: 64}
+	a := DCEArea(mini)
+	if math.Abs(a-0.38) > 0.02 {
+		t.Fatalf("Mini DCE area %.3f mm², paper reports 0.38", a)
+	}
+	f := DCEAreaFraction(mini)
+	if math.Abs(f-0.022) > 0.004 {
+		t.Fatalf("Mini DCE fraction %.4f, paper reports ~2.2%%", f)
+	}
+}
+
+func TestCoreOnlyAreaSmaller(t *testing.T) {
+	mini := DCEConfigArea{ChainCacheEntries: 32, Window: 64, HBTEntries: 64}
+	co := DCEConfigArea{ChainCacheEntries: 32, Window: 6, SharedWithCore: true, HBTEntries: 64}
+	if DCEArea(co) >= DCEArea(mini) {
+		t.Fatal("Core-Only must be smaller than Mini (paper: 1.4% vs 2.2%)")
+	}
+}
+
+func TestEnergyFasterRunWins(t *testing.T) {
+	// Same work, fewer cycles, plus modest DCE activity: net energy must
+	// drop (the paper's Figure 14 mean).
+	base := RunActivity{Cycles: 1_000_000, CoreUops: 1_200_000, CoreLoads: 300_000,
+		L2Accesses: 50_000, DRAMAccesses: 10_000, Flushes: 8_000}
+	br := base
+	br.Cycles = 850_000
+	br.Flushes = 3_000
+	br.HasDCE = true
+	br.DCEUops = 300_000
+	br.DCELoads = 80_000
+	br.Syncs = 2_000
+	if d := Delta(base, br); d >= 0 {
+		t.Fatalf("energy delta %+.1f%%, want negative for a 15%% faster run", d)
+	}
+}
+
+func TestEnergySameSpeedCostsMore(t *testing.T) {
+	// If Branch Runahead buys no speedup, its extra structures and uops
+	// must cost energy.
+	base := RunActivity{Cycles: 1_000_000, CoreUops: 1_200_000, CoreLoads: 300_000}
+	br := base
+	br.HasDCE = true
+	br.DCEUops = 400_000
+	br.DCELoads = 100_000
+	br.Syncs = 10_000
+	if d := Delta(base, br); d <= 0 {
+		t.Fatalf("energy delta %+.1f%%, want positive with zero speedup", d)
+	}
+}
+
+func TestEnergyMonotoneInEvents(t *testing.T) {
+	a := RunActivity{Cycles: 100_000, CoreUops: 100_000}
+	b := a
+	b.DRAMAccesses = 10_000
+	if Energy(b) <= Energy(a) {
+		t.Fatal("DRAM accesses must cost energy")
+	}
+	c := a
+	c.Cycles *= 2
+	if Energy(c) <= Energy(a) {
+		t.Fatal("longer runs must cost static energy")
+	}
+}

@@ -1,0 +1,597 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each FigureN function returns a stats.Table whose rows
+// match the paper's series; EXPERIMENTS.md records paper-vs-measured.
+//
+// Absolute numbers differ from the paper — the substrate is this repo's
+// simulator and the workloads are synthetic stand-ins — but the shapes the
+// paper argues from (who wins, by roughly what factor, where the crossovers
+// fall) are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/runahead"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Options sizes the experiment runs.
+type Options struct {
+	Scale  workloads.Scale
+	Warmup uint64
+	Instrs uint64
+	// SweepInstrs shortens the Figure 13 sweeps, as the paper does (10M
+	// instead of 200M instructions).
+	SweepInstrs uint64
+	// Workloads restricts the benchmark set (nil = all 18).
+	Workloads []string
+	// SweepWorkloads restricts the Figure 13 sweep set.
+	SweepWorkloads []string
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultOptions returns a configuration that regenerates every figure in
+// minutes on a laptop.
+func DefaultOptions() Options {
+	return Options{
+		Scale:          workloads.DefaultScale(),
+		Warmup:         100_000,
+		Instrs:         400_000,
+		SweepInstrs:    150_000,
+		SweepWorkloads: []string{"mcf_17", "leela_17", "omnetpp_17", "gobmk_06", "bfs", "tc"},
+	}
+}
+
+// QuickOptions returns a reduced configuration for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{
+		Scale:          workloads.SmallScale(),
+		Warmup:         30_000,
+		Instrs:         100_000,
+		SweepInstrs:    60_000,
+		Workloads:      []string{"mcf_17", "leela_17", "bfs"},
+		SweepWorkloads: []string{"mcf_17", "leela_17"},
+	}
+}
+
+// Suite runs simulations on demand and caches them, so the baseline run of
+// a benchmark is shared across figures.
+type Suite struct {
+	opts  Options
+	cache map[string]*sim.Result
+}
+
+// NewSuite returns an empty suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts, cache: make(map[string]*sim.Result)}
+}
+
+func (s *Suite) names() []string {
+	if len(s.opts.Workloads) > 0 {
+		return s.opts.Workloads
+	}
+	return workloads.Names()
+}
+
+func (s *Suite) sweepNames() []string {
+	if len(s.opts.SweepWorkloads) > 0 {
+		return s.opts.SweepWorkloads
+	}
+	return s.names()
+}
+
+// variant describes one simulator configuration.
+type variant struct {
+	key  string
+	pred sim.PredictorKind
+	br   *runahead.Config
+}
+
+func vTage64() variant { return variant{key: "tage64", pred: sim.PredTage64} }
+func vTage80() variant { return variant{key: "tage80", pred: sim.PredTage80} }
+func vMTage() variant  { return variant{key: "mtage", pred: sim.PredMTage} }
+
+func vBR(name string, cfg runahead.Config) variant {
+	c := cfg
+	return variant{key: name, pred: sim.PredTage64, br: &c}
+}
+
+func vMTageBR(cfg runahead.Config) variant {
+	c := cfg
+	return variant{key: "mtage+big", pred: sim.PredMTage, br: &c}
+}
+
+// run returns the (cached) result for workload wl under variant v, with the
+// given instruction budget.
+func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
+	key := fmt.Sprintf("%s/%s/%d", wl, v.key, instrs)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	w, err := workloads.ByName(wl, s.opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		Core:      core.DefaultConfig(),
+		Predictor: v.pred,
+		BR:        v.br,
+		Warmup:    s.opts.Warmup,
+		MaxInstrs: instrs,
+	}
+	res, err := sim.Run(w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %s: %w", wl, v.key, err)
+	}
+	s.cache[key] = res
+	if s.opts.Progress != nil {
+		s.opts.Progress(fmt.Sprintf("%-13s %-12s IPC=%.3f MPKI=%.2f", wl, v.key, res.IPC, res.MPKI))
+	}
+	return res, nil
+}
+
+// mpkiImprovement is the paper's metric: (base - br) / base * 100.
+func mpkiImprovement(base, br *sim.Result) float64 {
+	if base.MPKI == 0 {
+		return 0
+	}
+	return 100 * (base.MPKI - br.MPKI) / base.MPKI
+}
+
+func ipcImprovement(base, br *sim.Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return 100 * (br.IPC/base.IPC - 1)
+}
+
+// hardestBranches returns up to n branch PCs with the most mispredictions
+// in res (Figure 1's per-benchmark hard-branch set).
+func hardestBranches(res *sim.Result, n int) []uint64 {
+	type kv struct {
+		pc   uint64
+		misp uint64
+	}
+	var all []kv
+	for pc, b := range res.PerBranch {
+		all = append(all, kv{pc, b.Mispred})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].misp != all[j].misp {
+			return all[i].misp > all[j].misp
+		}
+		return all[i].pc < all[j].pc
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]uint64, len(all))
+	for i, e := range all {
+		out[i] = e.pc
+	}
+	return out
+}
+
+// mispRateOn computes the misprediction rate (%) of the given branch set in
+// res.
+func mispRateOn(res *sim.Result, pcs []uint64) float64 {
+	var execs, misp uint64
+	for _, pc := range pcs {
+		if b, ok := res.PerBranch[pc]; ok {
+			execs += b.Execs
+			misp += b.Mispred
+		}
+	}
+	return 100 * stats.Rate(misp, execs)
+}
+
+// Figure1 reproduces the misprediction rate of the hardest branches under
+// TAGE-SC-L (64KB), MTAGE-SC (unlimited), and dependence chains (Big Branch
+// Runahead). The paper's means: 11% / 9% / 5%.
+func (s *Suite) Figure1() (*stats.Table, error) {
+	t := stats.NewTable("Figure 1: misprediction rate (%) of hardest branches",
+		"benchmark", "tage-sc-l-64kb", "mtage-sc", "dependence-chains")
+	var a, b, c []float64
+	for _, wl := range s.names() {
+		base, err := s.run(wl, vTage64(), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := s.run(wl, vMTage(), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		br, err := s.run(wl, vBR("big", runahead.Big()), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		hard := hardestBranches(base, 32)
+		ra, rb, rc := mispRateOn(base, hard), mispRateOn(mt, hard), mispRateOn(br, hard)
+		a, b, c = append(a, ra), append(b, rb), append(c, rc)
+		t.AddRowf(wl, ra, rb, rc)
+	}
+	t.AddRowf("mean", stats.Mean(a), stats.Mean(b), stats.Mean(c))
+	return t, nil
+}
+
+// Figure2 reproduces the average dependence chain length (paper: < 8 uops,
+// capped at 16).
+func (s *Suite) Figure2() (*stats.Table, error) {
+	t := stats.NewTable("Figure 2: average dependence chain length (micro-ops)",
+		"benchmark", "avg-chain-uops")
+	var lens []float64
+	for _, wl := range s.names() {
+		br, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		lens = append(lens, br.AvgChainLen)
+		t.AddRowf(wl, br.AvgChainLen)
+	}
+	t.AddRowf("mean", stats.Mean(lens))
+	return t, nil
+}
+
+// Figure3 reproduces the increase in micro-ops (and load micro-ops) issued
+// due to Branch Runahead (paper mean: +34.3%).
+func (s *Suite) Figure3() (*stats.Table, error) {
+	t := stats.NewTable("Figure 3: micro-ops issued increase due to Branch Runahead (%)",
+		"benchmark", "uops-increase", "load-uops-increase")
+	var us, ls []float64
+	for _, wl := range s.names() {
+		base, err := s.run(wl, vTage64(), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		br, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		du := 100 * (float64(br.CoreUops+br.DCEUops)/float64(base.CoreUops) - 1)
+		dl := 100 * (float64(br.CoreLoads+br.DCELoads)/float64(base.CoreLoads) - 1)
+		us, ls = append(us, du), append(ls, dl)
+		t.AddRowf(wl, du, dl)
+	}
+	t.AddRowf("mean", stats.Mean(us), stats.Mean(ls))
+	return t, nil
+}
+
+// Figure5 reproduces the fraction of dependence chains impacted by
+// affectors or guards.
+func (s *Suite) Figure5() (*stats.Table, error) {
+	t := stats.NewTable("Figure 5: dependence chains with affector/guard triggers (%)",
+		"benchmark", "ag-chains-pct")
+	var fs []float64
+	for _, wl := range s.names() {
+		br, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		f := 100 * br.AGFraction
+		fs = append(fs, f)
+		t.AddRowf(wl, f)
+	}
+	t.AddRowf("mean", stats.Mean(fs))
+	return t, nil
+}
+
+// Figure10 reproduces the headline result: MPKI and IPC improvement of
+// 80KB TAGE-SC-L, Core-Only, Mini and Big Branch Runahead over the 64KB
+// TAGE-SC-L baseline. Paper means: MPKI -37.5/-43.6/-47.5%, IPC
+// +8.2/+13.7/+16.9% (80KB TAGE: 0.8% MPKI, 0.3% IPC).
+func (s *Suite) Figure10() (*stats.Table, error) {
+	t := stats.NewTable("Figure 10: improvement over 64KB TAGE-SC-L (%)",
+		"benchmark",
+		"mpki-tage80", "mpki-core-only", "mpki-mini", "mpki-big",
+		"ipc-tage80", "ipc-core-only", "ipc-mini", "ipc-big")
+	vs := []variant{
+		vTage80(),
+		vBR("core-only", runahead.CoreOnly()),
+		vBR("mini", runahead.Mini()),
+		vBR("big", runahead.Big()),
+	}
+	sums := make([][]float64, 8)
+	var ipcRatios [4][]float64
+	for _, wl := range s.names() {
+		base, err := s.run(wl, vTage64(), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 8)
+		for i, v := range vs {
+			r, err := s.run(wl, v, s.opts.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = mpkiImprovement(base, r)
+			row[4+i] = ipcImprovement(base, r)
+			ipcRatios[i] = append(ipcRatios[i], r.IPC/base.IPC)
+		}
+		for i, v := range row {
+			sums[i] = append(sums[i], v)
+		}
+		t.AddRowf(wl, row...)
+	}
+	mean := make([]float64, 8)
+	for i := 0; i < 4; i++ {
+		mean[i] = stats.Mean(sums[i])
+		mean[4+i] = 100 * (stats.GeoMean(ipcRatios[i]) - 1)
+	}
+	t.AddRowf("mean", mean...)
+	return t, nil
+}
+
+// Figure11Top compares MTAGE-SC, Big Branch Runahead and their combination
+// (MPKI improvement over 64KB TAGE-SC-L).
+func (s *Suite) Figure11Top() (*stats.Table, error) {
+	t := stats.NewTable("Figure 11 (top): MPKI improvement over 64KB TAGE-SC-L (%)",
+		"benchmark", "mtage", "big-br", "mtage+big-br")
+	vs := []variant{vMTage(), vBR("big", runahead.Big()), vMTageBR(runahead.Big())}
+	sums := make([][]float64, len(vs))
+	for _, wl := range s.names() {
+		base, err := s.run(wl, vTage64(), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(vs))
+		for i, v := range vs {
+			r, err := s.run(wl, v, s.opts.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = mpkiImprovement(base, r)
+			sums[i] = append(sums[i], row[i])
+		}
+		t.AddRowf(wl, row...)
+	}
+	mean := make([]float64, len(vs))
+	for i := range vs {
+		mean[i] = stats.Mean(sums[i])
+	}
+	t.AddRowf("mean", mean...)
+	return t, nil
+}
+
+// Figure11Bottom compares the three chain initiation policies (MPKI
+// improvement of Mini Branch Runahead over the baseline). The paper's
+// ordering: Non-speculative < Independent-early < Predictive.
+func (s *Suite) Figure11Bottom() (*stats.Table, error) {
+	t := stats.NewTable("Figure 11 (bottom): MPKI improvement by initiation policy (%)",
+		"benchmark", "non-speculative", "independent-early", "predictive")
+	mk := func(m runahead.InitMode, key string) variant {
+		cfg := runahead.Mini()
+		cfg.InitMode = m
+		return vBR(key, cfg)
+	}
+	vs := []variant{
+		mk(runahead.NonSpeculative, "mini-nonspec"),
+		mk(runahead.IndependentEarly, "mini-indep"),
+		mk(runahead.Predictive, "mini"),
+	}
+	sums := make([][]float64, len(vs))
+	for _, wl := range s.names() {
+		base, err := s.run(wl, vTage64(), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(vs))
+		for i, v := range vs {
+			r, err := s.run(wl, v, s.opts.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = mpkiImprovement(base, r)
+			sums[i] = append(sums[i], row[i])
+		}
+		t.AddRowf(wl, row...)
+	}
+	mean := make([]float64, len(vs))
+	for i := range vs {
+		mean[i] = stats.Mean(sums[i])
+	}
+	t.AddRowf("mean", mean...)
+	return t, nil
+}
+
+// Figure12 reproduces the prediction breakdown for targeted branches:
+// inactive / late / throttled / incorrect / correct.
+func (s *Suite) Figure12() (*stats.Table, error) {
+	t := stats.NewTable("Figure 12: prediction breakdown for targeted branches (%)",
+		"benchmark", "inactive", "late", "throttled", "incorrect", "correct")
+	keys := []string{"inactive", "late", "throttled", "incorrect", "correct"}
+	sums := make([][]float64, len(keys))
+	for _, wl := range s.names() {
+		br, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		var total uint64
+		for _, k := range keys {
+			total += br.Breakdown[k]
+		}
+		row := make([]float64, len(keys))
+		for i, k := range keys {
+			row[i] = stats.Pct(br.Breakdown[k], total)
+			sums[i] = append(sums[i], row[i])
+		}
+		t.AddRowf(wl, row...)
+	}
+	mean := make([]float64, len(keys))
+	for i := range keys {
+		mean[i] = stats.Mean(sums[i])
+	}
+	t.AddRowf("mean", mean...)
+	return t, nil
+}
+
+// SweepPoint is one Figure 13 configuration.
+type SweepPoint struct {
+	Param string
+	Value int
+	// MPKIImprovement is relative to Mini Branch Runahead (the paper's
+	// y-axis), averaged over the sweep workloads.
+	MPKIImprovement float64
+}
+
+// Figure13 sweeps the Mini configuration's parameters individually toward
+// Big, reporting MPKI improvement relative to Mini. The paper finds window
+// size and chain cache size dominate the Mini-to-Big gap.
+func (s *Suite) Figure13() (*stats.Table, []SweepPoint, error) {
+	type axis struct {
+		name   string
+		values []int
+		apply  func(*runahead.Config, int)
+	}
+	axes := []axis{
+		{"chain-cache", []int{16, 32, 64, 128, 256, 1024},
+			func(c *runahead.Config, v int) { c.ChainCacheSize = v }},
+		{"window", []int{16, 32, 64, 128, 256, 1024},
+			func(c *runahead.Config, v int) { c.Window = v }},
+		{"pq-entries", []int{32, 64, 128, 256, 512, 1024},
+			func(c *runahead.Config, v int) { c.QueueEntries = v }},
+		{"ceb-entries", []int{128, 256, 512, 1024, 2048},
+			func(c *runahead.Config, v int) { c.CEBEntries = v }},
+		{"hbt-entries", []int{16, 32, 64, 128, 1024},
+			func(c *runahead.Config, v int) { c.HBTEntries = v }},
+		{"max-chain-len", []int{8, 16, 32, 64, 128},
+			func(c *runahead.Config, v int) { c.MaxChainLen = v }},
+	}
+	t := stats.NewTable("Figure 13: MPKI improvement relative to Mini (%), per-parameter sweep",
+		"parameter", "value", "mpki-improvement-vs-mini")
+	var points []SweepPoint
+
+	// Mini reference at sweep budget.
+	miniMPKI := make(map[string]float64)
+	for _, wl := range s.sweepNames() {
+		r, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.SweepInstrs)
+		if err != nil {
+			return nil, nil, err
+		}
+		miniMPKI[wl] = r.MPKI
+	}
+	for _, ax := range axes {
+		for _, v := range ax.values {
+			cfg := runahead.Mini()
+			ax.apply(&cfg, v)
+			var imps []float64
+			for _, wl := range s.sweepNames() {
+				r, err := s.run(wl, vBR(fmt.Sprintf("mini-%s-%d", ax.name, v), cfg), s.opts.SweepInstrs)
+				if err != nil {
+					return nil, nil, err
+				}
+				base := miniMPKI[wl]
+				if base > 0 {
+					imps = append(imps, 100*(base-r.MPKI)/base)
+				}
+			}
+			imp := stats.Mean(imps)
+			points = append(points, SweepPoint{Param: ax.name, Value: v, MPKIImprovement: imp})
+			t.AddRow(ax.name, fmt.Sprintf("%d", v), fmt.Sprintf("%.2f", imp))
+		}
+	}
+	return t, points, nil
+}
+
+// Figure14 reproduces the energy impact of the three Branch Runahead
+// configurations (negative = energy saved; the paper's mean is negative,
+// driven by shorter run times).
+func (s *Suite) Figure14() (*stats.Table, error) {
+	t := stats.NewTable("Figure 14: energy change vs baseline (%); lower is better",
+		"benchmark", "core-only", "mini", "big")
+	vs := []variant{
+		vBR("core-only", runahead.CoreOnly()),
+		vBR("mini", runahead.Mini()),
+		vBR("big", runahead.Big()),
+	}
+	sums := make([][]float64, len(vs))
+	for _, wl := range s.names() {
+		base, err := s.run(wl, vTage64(), s.opts.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(vs))
+		for i, v := range vs {
+			r, err := s.run(wl, v, s.opts.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = energy.Delta(base.Activity, r.Activity)
+			sums[i] = append(sums[i], row[i])
+		}
+		t.AddRowf(wl, row...)
+	}
+	mean := make([]float64, len(vs))
+	for i := range vs {
+		mean[i] = stats.Mean(sums[i])
+	}
+	t.AddRowf("mean", mean...)
+	return t, nil
+}
+
+// Table1 renders the baseline configuration (the paper's Table 1).
+func Table1() *stats.Table {
+	c := core.DefaultConfig()
+	t := stats.NewTable("Table 1: baseline configuration", "component", "value")
+	t.AddRow("core", fmt.Sprintf("%d-wide issue, %d-entry ROB, %d-entry RS", c.IssueWidth, c.ROBSize, c.RSSize))
+	t.AddRow("branch predictor", "64KB-class TAGE-SC-L")
+	t.AddRow("L1 caches", "32KB I / 32KB D, 64B lines, 2 D ports, 3-cycle hit, 8-way")
+	t.AddRow("L2 cache", "2MB 12-way, 18-cycle, write-back")
+	t.AddRow("memory controller", "64-entry queue")
+	t.AddRow("prefetcher", "stream: 64 streams, distance 16, fills LLC")
+	t.AddRow("DRAM", "DDR4-2400-class, bank/row model")
+	t.AddRow("WPB", "128-entry, 4-way, max merge distance 256 uops")
+	return t
+}
+
+// Table2 renders the three Branch Runahead configurations with their
+// estimated storage.
+func Table2() *stats.Table {
+	t := stats.NewTable("Table 2: Branch Runahead configurations",
+		"parameter", "core-only", "mini", "big")
+	co, mi, bg := runahead.CoreOnly(), runahead.Mini(), runahead.Big()
+	row := func(name string, f func(runahead.Config) string) {
+		t.AddRow(name, f(co), f(mi), f(bg))
+	}
+	row("chain cache", func(c runahead.Config) string { return fmt.Sprintf("%d-entry", c.ChainCacheSize) })
+	row("max chain length", func(c runahead.Config) string { return fmt.Sprintf("%d uops", c.MaxChainLen) })
+	row("window", func(c runahead.Config) string {
+		if c.SharedWithCore {
+			return "shared with core"
+		}
+		return fmt.Sprintf("%d instances", c.Window)
+	})
+	row("prediction queues", func(c runahead.Config) string {
+		return fmt.Sprintf("%dx %d-entry", c.NumQueues, c.QueueEntries)
+	})
+	row("HBT", func(c runahead.Config) string { return fmt.Sprintf("%d-entry", c.HBTEntries) })
+	row("CEB", func(c runahead.Config) string { return fmt.Sprintf("%d-entry", c.CEBEntries) })
+	row("initiation", func(c runahead.Config) string { return c.InitMode.String() })
+	row("storage", func(c runahead.Config) string {
+		return fmt.Sprintf("%.1f KB", float64(c.StorageBits())/8192)
+	})
+	return t
+}
+
+// AreaTable renders the §5.2 area estimates.
+func AreaTable() *stats.Table {
+	t := stats.NewTable("Area (22nm, McPAT-style model)", "structure", "mm^2", "fraction-of-core")
+	add := func(name string, cfg energy.DCEConfigArea) {
+		a := energy.DCEArea(cfg)
+		t.AddRow(name, fmt.Sprintf("%.2f", a), fmt.Sprintf("%.1f%%", 100*energy.DCEAreaFraction(cfg)))
+	}
+	mi := runahead.Mini()
+	add("DCE (Mini)", energy.DCEConfigArea{ChainCacheEntries: mi.ChainCacheSize, Window: mi.Window, HBTEntries: mi.HBTEntries})
+	co := runahead.CoreOnly()
+	add("DCE (Core-Only)", energy.DCEConfigArea{ChainCacheEntries: co.ChainCacheSize, Window: co.Window,
+		SharedWithCore: true, HBTEntries: co.HBTEntries})
+	t.AddRow("baseline core", fmt.Sprintf("%.2f", energy.CoreAreaMM2), "100%")
+	t.AddRow("64KB TAGE-SC-L", fmt.Sprintf("%.2f", energy.TageAreaMM2),
+		fmt.Sprintf("%.1f%%", 100*energy.TageAreaMM2/energy.CoreAreaMM2))
+	return t
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func quickSuite() *Suite { return NewSuite(QuickOptions()) }
+
+func TestFigure1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := quickSuite()
+	tab, err := s.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	// Shape requirements from the paper: MTAGE barely improves on TAGE for
+	// these branches; dependence chains cut the rate substantially.
+	mean := tab.Rows[len(tab.Rows)-1]
+	tage, mtage, chains := parseF(t, mean[1]), parseF(t, mean[2]), parseF(t, mean[3])
+	if tage < 5 {
+		t.Fatalf("hard-branch misprediction rate under TAGE is %.1f%%, too low to be 'hard'", tage)
+	}
+	if chains >= tage {
+		t.Fatalf("dependence chains (%.1f%%) did not beat TAGE (%.1f%%)", chains, tage)
+	}
+	if chains >= mtage {
+		t.Fatalf("dependence chains (%.1f%%) did not beat MTAGE (%.1f%%)", chains, mtage)
+	}
+}
+
+func TestFigure2ChainLengths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := quickSuite()
+	tab, err := s.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	mean := parseF(t, tab.Rows[len(tab.Rows)-1][1])
+	if mean <= 0 || mean > 16 {
+		t.Fatalf("mean chain length %.1f outside (0,16]", mean)
+	}
+}
+
+func TestFigure10Headline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := quickSuite()
+	tab, err := s.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	mean := tab.Rows[len(tab.Rows)-1]
+	mpkiTage80, mpkiMini, mpkiBig := parseF(t, mean[1]), parseF(t, mean[3]), parseF(t, mean[4])
+	ipcMini := parseF(t, mean[7])
+	// The paper's ordering: 80KB TAGE is a wash; Mini and Big cut MPKI by
+	// tens of percent; Big >= Mini (more chain-level parallelism).
+	if mpkiTage80 > 15 {
+		t.Fatalf("80KB TAGE MPKI improvement %.1f%% — should be marginal", mpkiTage80)
+	}
+	if mpkiMini < 15 {
+		t.Fatalf("Mini MPKI improvement %.1f%%, want substantial", mpkiMini)
+	}
+	// At the quick test budget, per-workload variance between Mini and Big
+	// is large (divergence timing shifts with window size); require only
+	// that Big is in the same league.
+	if mpkiBig < mpkiMini-20 {
+		t.Fatalf("Big (%.1f%%) should not trail Mini (%.1f%%) badly", mpkiBig, mpkiMini)
+	}
+	if ipcMini <= 0 {
+		t.Fatalf("Mini IPC improvement %.1f%%, want positive", ipcMini)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	t1, t2, ta := Table1(), Table2(), AreaTable()
+	for _, tab := range []string{t1.String(), t2.String(), ta.String()} {
+		if len(tab) < 50 {
+			t.Fatalf("suspiciously short table:\n%s", tab)
+		}
+	}
+	if !strings.Contains(t2.String(), "17.") && !strings.Contains(t2.String(), "KB") {
+		t.Fatalf("Table 2 lacks storage estimates:\n%s", t2)
+	}
+	if !strings.Contains(ta.String(), "16.96") {
+		t.Fatalf("area table lacks the paper's core area:\n%s", ta)
+	}
+}
+
+func TestSuiteCachesRuns(t *testing.T) {
+	opts := QuickOptions()
+	opts.Workloads = []string{"mcf_17"}
+	opts.Instrs = 40_000
+	opts.Warmup = 10_000
+	runs := 0
+	opts.Progress = func(string) { runs++ }
+	s := NewSuite(opts)
+	if _, err := s.run("mcf_17", vTage64(), opts.Instrs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run("mcf_17", vTage64(), opts.Instrs); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("cache miss: %d runs for identical request", runs)
+	}
+}
+
+func TestOptionsWorkloadsExist(t *testing.T) {
+	for _, name := range DefaultOptions().SweepWorkloads {
+		if _, err := workloads.ByName(name, workloads.SmallScale()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,5 @@
+package experiments
+
+import "fmt"
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRWellFormed(t *testing.T) {
+	for _, g := range []*CSR{Uniform(256, 8, 1), PowerLaw(256, 8, 2)} {
+		if len(g.RowPtr) != g.N+1 {
+			t.Fatalf("rowptr len %d, want %d", len(g.RowPtr), g.N+1)
+		}
+		if g.RowPtr[0] != 0 || int(g.RowPtr[g.N]) != g.M() {
+			t.Fatalf("rowptr endpoints %d..%d, M=%d", g.RowPtr[0], g.RowPtr[g.N], g.M())
+		}
+		for v := 0; v < g.N; v++ {
+			if g.RowPtr[v] > g.RowPtr[v+1] {
+				t.Fatalf("rowptr not monotone at %d", v)
+			}
+		}
+		for _, u := range g.ColIdx {
+			if int(u) >= g.N {
+				t.Fatalf("edge endpoint %d out of range", u)
+			}
+		}
+		if len(g.Weights) != g.M() {
+			t.Fatal("weights not parallel to edges")
+		}
+		for _, w := range g.Weights {
+			if w == 0 {
+				t.Fatal("zero edge weight (sssp relies on positive weights)")
+			}
+		}
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := PowerLaw(512, 10, 3)
+	for v := 0; v < g.N; v++ {
+		for i := g.RowPtr[v] + 1; i < g.RowPtr[v+1]; i++ {
+			if g.ColIdx[i-1] > g.ColIdx[i] {
+				t.Fatalf("adjacency of %d unsorted (tc needs sorted lists)", v)
+			}
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := PowerLaw(1024, 12, 4)
+	maxDeg, sum := 0, 0
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(g.N)
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("max degree %d vs avg %.1f: no heavy hitters; not power-law-ish", maxDeg, avg)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PowerLaw(128, 6, 7)
+	b := PowerLaw(128, 6, 7)
+	if a.M() != b.M() {
+		t.Fatal("edge counts differ for identical seeds")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("graphs differ for identical seeds")
+		}
+	}
+}
+
+func TestBFSOrderCoversAllVertices(t *testing.T) {
+	check := func(seed int64) bool {
+		g := Uniform(64, 4, seed)
+		order := g.BFSOrder(0)
+		if len(order) != g.N {
+			return false
+		}
+		seen := make([]bool, g.N)
+		for _, v := range order {
+			if v < 0 || v >= g.N || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,6 @@
+package isa
+
+import "math"
+
+func float64FromBits(v uint64) float64 { return math.Float64frombits(v) }
+func float64Bits(f float64) uint64     { return math.Float64bits(f) }

@@ -1,0 +1,105 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t")
+	p, err := b.MovI(isa.R1, 5).
+		Label("top").
+		SubI(isa.R1, isa.R1, 1).
+		CmpI(isa.R1, 0).
+		Br(isa.CondGT, "top").
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	br := p.At(3)
+	if br.Op != isa.OpBr || br.Imm != 1 {
+		t.Fatalf("branch target = %d, want 1", br.Imm)
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	b := NewBuilder("fwd")
+	p, err := b.Jmp("end").Nop().Label("end").Halt().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Uops[0].Imm != 2 {
+		t.Fatalf("forward jump resolved to %d, want 2", p.Uops[0].Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	if _, err := NewBuilder("u").Jmp("nowhere").Build(); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	if _, err := NewBuilder("d").Label("x").Nop().Label("x").Build(); err == nil {
+		t.Fatal("expected duplicate-label error")
+	}
+}
+
+func TestProgramValidateBranchBounds(t *testing.T) {
+	p := &Program{Name: "bad", Uops: []isa.Uop{
+		{PC: 0, Op: isa.OpJmp, Imm: 10},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected out-of-range branch target error")
+	}
+}
+
+func TestProgramAtOutOfRange(t *testing.T) {
+	p := NewBuilder("r").Nop().MustBuild()
+	if p.At(0) == nil {
+		t.Fatal("valid PC returned nil")
+	}
+	if p.At(99) != nil {
+		t.Fatal("out-of-range PC must return nil (wrong-path fetch relies on it)")
+	}
+}
+
+func TestDataSegments(t *testing.T) {
+	p := NewBuilder("data").
+		DataU64(0x100, []uint64{0x1122334455667788}).
+		DataU32(0x200, []uint32{0xAABBCCDD}).
+		Nop().MustBuild()
+	if len(p.Data) != 2 {
+		t.Fatalf("segments = %d", len(p.Data))
+	}
+	if p.Data[0].Bytes[0] != 0x88 || p.Data[0].Bytes[7] != 0x11 {
+		t.Fatal("u64 not little-endian")
+	}
+	if p.Data[1].Bytes[0] != 0xDD || p.Data[1].Bytes[3] != 0xAA {
+		t.Fatal("u32 not little-endian")
+	}
+}
+
+func TestDisassembleMentionsEveryUop(t *testing.T) {
+	p := NewBuilder("dis").
+		MovI(isa.R1, 7).
+		Ld(isa.R2, isa.R1, 8, 4, true).
+		St(isa.R2, isa.R1, 16, 4).
+		Cmp(isa.R1, isa.R2).
+		Br(isa.CondNE, "end").
+		Label("end").
+		Halt().
+		MustBuild()
+	dis := p.Disassemble()
+	for _, frag := range []string{"movi", "ld32", "st32", "cmp", "br.ne", "halt"} {
+		if !strings.Contains(dis, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, dis)
+		}
+	}
+}

@@ -1,0 +1,496 @@
+package runahead
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// TagOutcome is the trigger-direction part of a chain tag.
+type TagOutcome uint8
+
+// Trigger direction requirements.
+const (
+	OutTaken TagOutcome = iota
+	OutNotTaken
+	OutWildcard // '*': any outcome of the trigger branch matches
+)
+
+// String implements fmt.Stringer.
+func (o TagOutcome) String() string {
+	switch o {
+	case OutTaken:
+		return "T"
+	case OutNotTaken:
+		return "NT"
+	default:
+		return "*"
+	}
+}
+
+// Tag identifies the action that initiates a chain: the terminating branch's
+// PC and required outcome (paper §3: chains are tagged <PC, outcome> or
+// <PC, *>).
+type Tag struct {
+	PC  uint64
+	Out TagOutcome
+}
+
+// Matches reports whether a produced (pc, taken) event triggers this tag.
+func (t Tag) Matches(pc uint64, taken bool) bool {
+	if t.PC != pc {
+		return false
+	}
+	switch t.Out {
+	case OutWildcard:
+		return true
+	case OutTaken:
+		return taken
+	default:
+		return !taken
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Tag) String() string { return fmt.Sprintf("<%d,%s>", t.PC, t.Out) }
+
+// ChainUop is one locally-renamed micro-op of a dependence chain. Register
+// operands index the chain-local register file (-1 = unused); the condition
+// codes occupy an ordinary local register.
+type ChainUop struct {
+	Op      isa.Op
+	Dst     int
+	Src1    int
+	Src2    int
+	Imm     int64
+	UseImm  bool
+	Scale   uint8
+	MemSize uint8
+	Signed  bool
+	Cond    isa.Cond
+	OrigPC  uint64
+}
+
+// LiveBinding maps an architectural register to a chain-local register.
+type LiveBinding struct {
+	Arch  isa.Reg
+	Local int
+}
+
+// Chain is an extracted dependence chain: the backward dataflow slice that
+// computes one branch's outcome, locally renamed, ending with the branch
+// micro-op itself.
+type Chain struct {
+	// BranchPC is the branch whose outcome this chain computes.
+	BranchPC uint64
+	// Tag is the trigger: the terminating branch of the backward walk.
+	Tag Tag
+	// Uops hold the slice in program order; the last one is the branch.
+	Uops []ChainUop
+	// LiveIns are registers read before written (copied from the core at
+	// synchronization, or from the producer chain's live-outs).
+	LiveIns []LiveBinding
+	// LiveOuts are the youngest in-chain writers of each written register
+	// (the producer side of global rename).
+	LiveOuts []LiveBinding
+	// NumLocals is the local register file footprint.
+	NumLocals int
+	// Loads counts memory reads in the chain.
+	Loads int
+}
+
+// HasAGTrigger reports whether the chain terminates at an affector/guard
+// branch rather than at a second instance of its own branch (Figure 5's
+// numerator).
+func (c *Chain) HasAGTrigger() bool { return c.Tag.PC != c.BranchPC }
+
+// String renders the chain for debugging and the examples.
+func (c *Chain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chain for branch %d, tag %s, %d locals\n", c.BranchPC, c.Tag, c.NumLocals)
+	fmt.Fprintf(&b, "  live-ins: %v  live-outs: %v\n", c.LiveIns, c.LiveOuts)
+	for _, u := range c.Uops {
+		fmt.Fprintf(&b, "  pc=%-4d %s d=%d s1=%d s2=%d imm=%d\n", u.OrigPC, u.Op, u.Dst, u.Src1, u.Src2, u.Imm)
+	}
+	return b.String()
+}
+
+// Equal reports structural equality (used to dedupe chain-cache installs).
+func (c *Chain) Equal(o *Chain) bool {
+	if c.BranchPC != o.BranchPC || c.Tag != o.Tag || len(c.Uops) != len(o.Uops) {
+		return false
+	}
+	for i := range c.Uops {
+		if c.Uops[i] != o.Uops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cebEntry is one retired micro-op recorded in the Chain Extraction Buffer.
+type cebEntry struct {
+	u       *isa.Uop
+	taken   bool
+	memAddr uint64
+}
+
+// CEB is the circular Chain Extraction Buffer holding the most recently
+// retired micro-ops (512 in Mini, paper §4.3).
+type CEB struct {
+	buf   []cebEntry
+	head  int // next write position
+	count int
+}
+
+// NewCEB returns a buffer holding n retired micro-ops.
+func NewCEB(n int) *CEB {
+	return &CEB{buf: make([]cebEntry, n)}
+}
+
+// Push records a retired micro-op.
+func (c *CEB) Push(u *isa.Uop, taken bool, memAddr uint64) {
+	c.buf[c.head] = cebEntry{u: u, taken: taken, memAddr: memAddr}
+	c.head = (c.head + 1) % len(c.buf)
+	if c.count < len(c.buf) {
+		c.count++
+	}
+}
+
+// Len returns the number of recorded micro-ops.
+func (c *CEB) Len() int { return c.count }
+
+// at returns the entry i positions before the newest (0 = newest).
+func (c *CEB) at(i int) *cebEntry {
+	pos := c.head - 1 - i
+	for pos < 0 {
+		pos += len(c.buf)
+	}
+	return &c.buf[pos]
+}
+
+// ExtractError explains why extraction failed; chains that violate the
+// paper's simplicity guarantees are rejected rather than repaired.
+type ExtractError struct{ Reason string }
+
+// Error implements error.
+func (e *ExtractError) Error() string { return "runahead: extraction failed: " + e.Reason }
+
+// seekEntry is a pending request for a producer of an architectural
+// register during the backward walk. beforePos restricts matches to CEB
+// positions strictly older (larger index) than it; this is what makes
+// store-load-pair elimination sound: the store's data register must be
+// produced before the store, not between the store and the load.
+type seekEntry struct {
+	vid       int
+	beforePos int
+}
+
+// extractor performs the backward dataflow walk of Figure 9.
+type extractor struct {
+	ceb    *CEB
+	cfg    *Config
+	agSet  map[uint64]bool
+	search map[isa.Reg][]seekEntry
+	alias  []int // vid -> vid alias (-1 = canonical)
+
+	// emitted collects chain uops in reverse (youngest-first) order with
+	// value-id operands.
+	emitted []vidUop
+	// liveOutVid records the youngest in-chain writer of each arch reg.
+	liveOutVid map[isa.Reg]int
+	loads      int
+}
+
+type vidUop struct {
+	u      *isa.Uop
+	dstVid int
+	s1Vid  int
+	s2Vid  int
+}
+
+func (x *extractor) newVid() int {
+	x.alias = append(x.alias, -1)
+	return len(x.alias) - 1
+}
+
+func (x *extractor) resolve(v int) int {
+	for x.alias[v] >= 0 {
+		v = x.alias[v]
+	}
+	return v
+}
+
+// seek requests a producer for arch reg r at positions older than pos.
+func (x *extractor) seek(r isa.Reg, pos int) int {
+	// Reuse an existing request with the same window so two consumers of
+	// the same value share one vid; different windows must stay distinct.
+	for _, e := range x.search[r] {
+		if e.beforePos == pos {
+			return e.vid
+		}
+	}
+	vid := x.newVid()
+	x.search[r] = append(x.search[r], seekEntry{vid: vid, beforePos: pos})
+	return vid
+}
+
+// match consumes all requests for r that may be satisfied at position pos
+// and returns their unified vid (or -1 when none match).
+func (x *extractor) match(r isa.Reg, pos int) int {
+	entries := x.search[r]
+	if len(entries) == 0 {
+		return -1
+	}
+	keep := entries[:0]
+	unified := -1
+	for _, e := range entries {
+		if pos > e.beforePos || e.beforePos == maxInt {
+			// Position pos is older than the consumer's window start.
+			if unified == -1 {
+				unified = e.vid
+			} else {
+				x.alias[e.vid] = unified
+			}
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	if unified == -1 {
+		return -1
+	}
+	if len(keep) == 0 {
+		delete(x.search, r)
+	} else {
+		x.search[r] = keep
+	}
+	return unified
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// ExtractChain walks the CEB backwards from the most recently retired
+// instance of the hard branch (which must be the newest CEB entry) and
+// returns its dependence chain. agSet lists the branch's known
+// affector/guard PCs, which terminate the walk (paper §4.3).
+func ExtractChain(ceb *CEB, cfg *Config, agSet []uint64) (*Chain, error) {
+	if ceb.Len() == 0 {
+		return nil, &ExtractError{"empty CEB"}
+	}
+	br := ceb.at(0)
+	if !br.u.Op.IsCondBranch() {
+		return nil, &ExtractError{"newest CEB entry is not a conditional branch"}
+	}
+	x := &extractor{
+		ceb:        ceb,
+		cfg:        cfg,
+		agSet:      make(map[uint64]bool, len(agSet)),
+		search:     make(map[isa.Reg][]seekEntry),
+		liveOutVid: make(map[isa.Reg]int),
+	}
+	for _, pc := range agSet {
+		x.agSet[pc] = true
+	}
+
+	// Seed with the branch itself: it sources the condition codes.
+	flagsVid := x.seek(isa.RegFlags, maxInt)
+	x.emitted = append(x.emitted, vidUop{u: br.u, dstVid: -1, s1Vid: flagsVid, s2Vid: -1})
+
+	tag, err := x.walk(br.u.PC)
+	if err != nil {
+		return nil, err
+	}
+	return x.build(br.u.PC, tag)
+}
+
+// walk scans older CEB entries until a terminating branch, returning the
+// chain tag.
+func (x *extractor) walk(branchPC uint64) (Tag, error) {
+	var dstBuf [2]isa.Reg
+	for pos := 1; pos < x.ceb.Len(); pos++ {
+		e := x.ceb.at(pos)
+		u := e.u
+		if u.Op.IsCondBranch() {
+			if u.PC == branchPC {
+				// Second instance of the same branch. A self-affector (the
+				// branch's direction feeds its own future dataflow) needs a
+				// directional tag; otherwise the tag is the wildcard of
+				// §3's Figure 4.
+				if x.cfg.UseAffectorGuard && x.agSet[branchPC] {
+					out := OutNotTaken
+					if e.taken {
+						out = OutTaken
+					}
+					return Tag{PC: branchPC, Out: out}, nil
+				}
+				return Tag{PC: branchPC, Out: OutWildcard}, nil
+			}
+			if x.cfg.UseAffectorGuard && x.agSet[u.PC] {
+				out := OutNotTaken
+				if e.taken {
+					out = OutTaken
+				}
+				return Tag{PC: u.PC, Out: out}, nil
+			}
+			continue // chains contain no control flow
+		}
+		if u.Op == isa.OpJmp || u.Op == isa.OpNop || u.Op == isa.OpHalt {
+			continue
+		}
+		dsts := u.DstRegs(dstBuf[:0])
+		if len(dsts) == 0 {
+			continue // stores and other non-writers never match directly
+		}
+		vid := x.match(dsts[0], pos)
+		if vid == -1 {
+			continue
+		}
+		if u.Op.IsExpensive() {
+			return Tag{}, &ExtractError{fmt.Sprintf("expensive op %s in slice", u.Op)}
+		}
+		if x.cfg.MoveElim && u.Op == isa.OpMov {
+			// Move elimination: alias the consumer's value to the source.
+			x.alias[vid] = x.seek(u.Src1, maxInt)
+			if _, seen := x.liveOutVid[dsts[0]]; !seen {
+				x.liveOutVid[dsts[0]] = vid
+			}
+			continue
+		}
+		if u.Op == isa.OpLd {
+			if x.cfg.MoveElim {
+				if sPos, sEntry := x.findStorePair(pos, e); sPos >= 0 {
+					// Store-load pair: logically a move of the store's data
+					// register, so eliminate both (guaranteeing store-free
+					// chains).
+					x.alias[vid] = x.seek(sEntry.u.Dst, sPos)
+					if _, seen := x.liveOutVid[dsts[0]]; !seen {
+						x.liveOutVid[dsts[0]] = vid
+					}
+					continue
+				}
+			}
+			x.loads++
+		}
+		x.emit(u, vid)
+		if len(x.emitted) > x.cfg.MaxChainLen {
+			return Tag{}, &ExtractError{fmt.Sprintf("chain longer than %d uops", x.cfg.MaxChainLen)}
+		}
+		if _, seen := x.liveOutVid[dsts[0]]; !seen {
+			x.liveOutVid[dsts[0]] = vid
+		}
+	}
+	return Tag{}, &ExtractError{"no terminating branch within the CEB"}
+}
+
+// findStorePair locates the youngest store older than the load at loadPos
+// writing the same address and width.
+func (x *extractor) findStorePair(loadPos int, load *cebEntry) (int, *cebEntry) {
+	for pos := loadPos + 1; pos < x.ceb.Len(); pos++ {
+		e := x.ceb.at(pos)
+		if e.u.Op == isa.OpSt && e.memAddr == load.memAddr && e.u.MemSize == load.u.MemSize {
+			return pos, e
+		}
+	}
+	return -1, nil
+}
+
+// emit appends a chain uop with value-id operands, creating seeks for its
+// sources.
+func (x *extractor) emit(u *isa.Uop, dstVid int) {
+	vu := vidUop{u: u, dstVid: dstVid, s1Vid: -1, s2Vid: -1}
+	switch u.Op {
+	case isa.OpMovI:
+		// No sources.
+	case isa.OpLd:
+		vu.s1Vid = x.seek(u.Src1, maxInt)
+		if u.Scale > 0 {
+			vu.s2Vid = x.seek(u.Src2, maxInt)
+		}
+	case isa.OpCmp, isa.OpTest:
+		vu.s1Vid = x.seek(u.Src1, maxInt)
+		if !u.UseImm {
+			vu.s2Vid = x.seek(u.Src2, maxInt)
+		}
+	default:
+		vu.s1Vid = x.seek(u.Src1, maxInt)
+		if !u.UseImm && u.Src2.Valid() && u.Op != isa.OpMov && u.Op != isa.OpSext {
+			vu.s2Vid = x.seek(u.Src2, maxInt)
+		}
+	}
+	x.emitted = append(x.emitted, vu)
+}
+
+// build reverses the emitted slice into program order, assigns local
+// registers and produces the Chain.
+func (x *extractor) build(branchPC uint64, tag Tag) (*Chain, error) {
+	// Unify any duplicate live-in requests for the same register: they all
+	// denote "the value of r at chain entry".
+	for _, entries := range x.search {
+		for i := 1; i < len(entries); i++ {
+			from, to := x.resolve(entries[i].vid), x.resolve(entries[0].vid)
+			if from != to {
+				x.alias[from] = to
+			}
+		}
+	}
+
+	local := make(map[int]int) // canonical vid -> local register
+	assign := func(vid int) int {
+		if vid < 0 {
+			return -1
+		}
+		v := x.resolve(vid)
+		if l, ok := local[v]; ok {
+			return l
+		}
+		l := len(local)
+		local[v] = l
+		return l
+	}
+
+	ch := &Chain{BranchPC: branchPC, Tag: tag, Loads: x.loads}
+	// Reverse into program order.
+	for i := len(x.emitted) - 1; i >= 0; i-- {
+		e := x.emitted[i]
+		u := e.u
+		ch.Uops = append(ch.Uops, ChainUop{
+			Op:      u.Op,
+			Dst:     assign(e.dstVid),
+			Src1:    assign(e.s1Vid),
+			Src2:    assign(e.s2Vid),
+			Imm:     u.Imm,
+			UseImm:  u.UseImm,
+			Scale:   u.Scale,
+			MemSize: u.MemSize,
+			Signed:  u.Signed,
+			Cond:    u.Cond,
+			OrigPC:  u.PC,
+		})
+	}
+	for r, entries := range x.search {
+		if len(entries) == 0 {
+			continue
+		}
+		ch.LiveIns = append(ch.LiveIns, LiveBinding{Arch: r, Local: assign(entries[0].vid)})
+	}
+	for r, vid := range x.liveOutVid {
+		ch.LiveOuts = append(ch.LiveOuts, LiveBinding{Arch: r, Local: assign(vid)})
+	}
+	ch.NumLocals = len(local)
+
+	// Simplicity guarantees (paper §1): short, store-free, no control flow
+	// except the final branch.
+	for i, u := range ch.Uops {
+		if u.Op == isa.OpSt {
+			return nil, &ExtractError{"store survived extraction"}
+		}
+		if u.Op.IsBranch() && i != len(ch.Uops)-1 {
+			return nil, &ExtractError{"interior control flow"}
+		}
+	}
+	if len(ch.Uops) < 2 || !ch.Uops[len(ch.Uops)-1].Op.IsCondBranch() {
+		return nil, &ExtractError{"degenerate chain (no computation feeding the branch)"}
+	}
+	return ch, nil
+}

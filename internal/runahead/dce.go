@@ -1,0 +1,695 @@
+package runahead
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// envVal is one architectural-register binding in a chain instance's
+// inherited environment: either a concrete value or a reference into a
+// producer instance's local register file (the dynamic half of global
+// rename, Figure 8).
+type envVal struct {
+	known    bool
+	val      uint64
+	src      *Instance
+	srcLocal int
+}
+
+// pendingLiveIn is an unresolved live-in awaiting a producer-instance local
+// register.
+type pendingLiveIn struct {
+	local    int
+	src      *Instance
+	srcLocal int
+}
+
+// Instance is one dynamic execution of a dependence chain: a local register
+// file plus a local reservation station (paper §4.2).
+type Instance struct {
+	id    uint64
+	chain *Chain
+
+	vals     []uint64
+	ready    []bool
+	issued   []bool
+	executed []bool
+	doneAt   []uint64
+	outcomes []bool // per-uop branch outcome (only the final entry is used)
+
+	env     [isa.NumRegs]envVal
+	pending []pendingLiveIn
+
+	q       *Queue
+	slotIdx uint64
+	slotGen uint64
+
+	completed bool
+	killed    bool
+	outcome   bool
+
+	// Scheduling acceleration: wake marks instances that may have issuable
+	// micro-ops; inflight lists issued-but-unfinished micro-op indices;
+	// unissued counts micro-ops not yet issued.
+	wake     bool
+	inflight []int
+	unissued int
+
+	// Predictive initiation bookkeeping. specDepth counts unresolved
+	// speculative initiations in this instance's ancestry; it bounds how
+	// deep the engine speculates through unresolved trigger outcomes.
+	specPredicted bool
+	predOut       bool
+	specDepth     int
+	// initiated tracks successor chains already launched from this
+	// instance, preventing double initiation between the early and
+	// completion trigger points.
+	initiated map[*Chain]bool
+}
+
+func (in *Instance) done() bool { return in.completed || in.killed }
+
+// deferredInit retries an initiation that failed for lack of window or
+// prediction-queue space.
+type deferredInit struct {
+	parent *Instance
+	chain  *Chain
+}
+
+// DCE is the Dependence Chain Engine: the dedicated unit that executes
+// dependence chains, sharing the D-cache with the core (core priority) and
+// pushing computed branch outcomes into the prediction queues.
+type DCE struct {
+	cfg      *Config
+	dcache   *cache.Cache
+	dtlb     *cache.TLB // shared with the core; may be nil
+	mem      *emu.Memory
+	cc       *ChainCache
+	pqs      *PQSet
+	initPred *bpred.CounterTable
+
+	// all holds instances whose completion trigger is still pending, in
+	// initiation order; triggers fire strictly in this order so prediction
+	// queue slots stay in program order even when chains complete out of
+	// order.
+	all []*Instance
+	// run holds the initiated-but-not-done instances (the scan set for
+	// scheduling), in initiation order.
+	run        []*Instance
+	activeRun  int // count of initiated-but-not-done instances (the window)
+	nextID     uint64
+	deferred   []deferredInit
+	spareIssue int // Core-Only: this cycle's borrowed issue slots
+	spareRS    int
+
+	C *stats.Counters
+}
+
+// NewDCE wires the engine.
+func NewDCE(cfg *Config, dcache *cache.Cache, mem *emu.Memory, cc *ChainCache, pqs *PQSet) *DCE {
+	return &DCE{
+		cfg:      cfg,
+		dcache:   dcache,
+		mem:      mem,
+		cc:       cc,
+		pqs:      pqs,
+		initPred: bpred.NewCounterTable(10),
+		C:        stats.NewCounters(),
+	}
+}
+
+// windowFree reports whether another instance fits.
+func (e *DCE) windowFree() bool {
+	if e.activeRun >= e.cfg.Window {
+		return false
+	}
+	if e.cfg.SharedWithCore {
+		// Core-Only borrows core reservation stations: one chain occupies
+		// up to MaxChainLen entries.
+		if e.spareRS < (e.activeRun+1)*e.cfg.MaxChainLen {
+			return false
+		}
+	}
+	return true
+}
+
+// Sync enters (or re-enters) runahead mode from a core misprediction of
+// (pc, taken): matching chains are initiated with live-ins copied from the
+// core's architectural registers, and their prediction queues are
+// synchronized with fetch (paper §4.1). The mispredicting branch's own
+// family is resynchronized too ("the mispredicting chain is synchronized
+// ... and chain execution resumes"), even when its chains are triggered by
+// other branches.
+func (e *DCE) Sync(now uint64, pc uint64, taken bool, regs *emu.RegFile) {
+	matching := e.cc.Lookup(pc, taken)
+	if len(matching) == 0 {
+		e.C.Inc("sync_miss")
+		return
+	}
+	e.C.Inc("syncs")
+
+	// Deactivate stale instances of the affected chain families, including
+	// the mispredicting branch's own.
+	families := make(map[uint64]bool, len(matching)+1)
+	if e.hasChainsFor(pc) {
+		families[pc] = true
+	}
+	for _, ch := range matching {
+		families[ch.BranchPC] = true
+	}
+	for _, in := range e.all {
+		if !in.done() && families[in.chain.BranchPC] {
+			e.kill(in)
+		}
+	}
+	live := e.deferred[:0]
+	for _, d := range e.deferred {
+		if !families[d.chain.BranchPC] {
+			live = append(live, d)
+		}
+	}
+	e.deferred = live
+
+	// Synchronize the prediction queues with fetch.
+	for fam := range families {
+		if q := e.pqs.Ensure(fam, now); q != nil {
+			q.reset(now)
+		}
+	}
+
+	// Initiate the matching chains with concrete live-ins from the core.
+	var env [isa.NumRegs]envVal
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		env[r] = envVal{known: true, val: regs.Get(r)}
+	}
+	for _, ch := range matching {
+		e.initiate(now, ch, &env, nil)
+	}
+}
+
+// hasChainsFor reports whether any cached chain computes branch pc.
+func (e *DCE) hasChainsFor(pc uint64) bool {
+	for _, ch := range e.cc.All() {
+		if ch.BranchPC == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// DeactivateFamily kills the active instances computing branch pc and marks
+// its queue inactive (divergence detected at retire; resynchronization
+// happens at the next core misprediction).
+func (e *DCE) DeactivateFamily(pc uint64) {
+	for _, in := range e.all {
+		if !in.done() && in.chain.BranchPC == pc {
+			e.kill(in)
+		}
+	}
+	if q := e.pqs.For(pc); q != nil {
+		q.active = false
+	}
+	e.C.Inc("divergences")
+}
+
+func (e *DCE) kill(in *Instance) {
+	if in.done() {
+		return
+	}
+	in.killed = true
+	e.activeRun--
+}
+
+// initiate launches one dynamic chain instance. env supplies the inherited
+// architectural environment (concrete at synchronization; partially
+// references into parent for continuous execution). Returns nil when the
+// window or the prediction queue is full.
+func (e *DCE) initiate(now uint64, ch *Chain, env *[isa.NumRegs]envVal, parent *Instance) *Instance {
+	if !e.windowFree() {
+		e.C.Inc("init_window_full")
+		return nil
+	}
+	q := e.pqs.Ensure(ch.BranchPC, now)
+	if q == nil || q.full() {
+		e.C.Inc("init_queue_full")
+		return nil
+	}
+	slot := q.alloc
+	*q.slot(slot) = pqSlot{}
+	q.alloc++
+
+	n := len(ch.Uops)
+	in := &Instance{
+		id:       e.nextID,
+		chain:    ch,
+		vals:     make([]uint64, ch.NumLocals),
+		ready:    make([]bool, ch.NumLocals),
+		issued:   make([]bool, n),
+		executed: make([]bool, n),
+		doneAt:   make([]uint64, n),
+		outcomes: make([]bool, n),
+		env:      *env,
+		q:        q,
+		slotIdx:  slot,
+		slotGen:  q.gen,
+		wake:     true,
+		unissued: n,
+	}
+	e.nextID++
+	_ = parent
+
+	// Resolve live-ins from the environment.
+	for _, li := range ch.LiveIns {
+		ev := &in.env[li.Arch]
+		switch {
+		case ev.known:
+			in.vals[li.Local] = ev.val
+			in.ready[li.Local] = true
+		case ev.src != nil:
+			if ev.src.ready[ev.srcLocal] {
+				v := ev.src.vals[ev.srcLocal]
+				in.vals[li.Local] = v
+				in.ready[li.Local] = true
+				// Concretize for our own successors too.
+				*ev = envVal{known: true, val: v}
+			} else {
+				in.pending = append(in.pending, pendingLiveIn{
+					local: li.Local, src: ev.src, srcLocal: ev.srcLocal})
+			}
+		default:
+			// Unbound register: treat as zero (cannot happen after a sync,
+			// which binds every register).
+			in.vals[li.Local] = 0
+			in.ready[li.Local] = true
+		}
+	}
+
+	e.all = append(e.all, in)
+	e.run = append(e.run, in)
+	e.activeRun++
+	e.C.Inc("instances")
+	e.onInitiated(now, in)
+	return in
+}
+
+// childEnv builds the environment a successor inherits: the parent's
+// environment overlaid with the parent's live-outs (global rename).
+func childEnv(parent *Instance) [isa.NumRegs]envVal {
+	env := parent.env
+	for _, lo := range parent.chain.LiveOuts {
+		if parent.ready[lo.Local] {
+			env[lo.Arch] = envVal{known: true, val: parent.vals[lo.Local]}
+		} else {
+			env[lo.Arch] = envVal{src: parent, srcLocal: lo.Local}
+		}
+	}
+	return env
+}
+
+// onInitiated fires the early (initiation-time) triggers of the configured
+// policy.
+// maxSpecDepth bounds how many unresolved speculative trigger outcomes an
+// initiation chain may stack. Beyond a few coin flips the probability that
+// a deeper instance survives is negligible, while the flush cost of being
+// wrong grows with the window.
+const maxSpecDepth = 12
+
+func (e *DCE) onInitiated(now uint64, in *Instance) {
+	if e.cfg.InitMode == NonSpeculative {
+		return
+	}
+	pc := in.chain.BranchPC
+	// Independent-early: wildcard successors don't care about the outcome;
+	// they inherit the parent's speculation depth.
+	for _, ch := range e.cc.Wildcards(pc) {
+		e.tryInitiateChild(now, in, ch, in.specDepth)
+	}
+	if e.cfg.InitMode == Predictive && in.specDepth < maxSpecDepth {
+		// Predict the outcome with the per-branch 3-bit counter and
+		// speculatively initiate directional successors. The speculation
+		// (and its flush-on-mispredict) only exists when directional
+		// successor chains actually got initiated on it.
+		predOut := e.initPred.Predict(pc)
+		specs := e.cc.NonWildcards(pc, predOut)
+		if len(specs) > 0 {
+			in.specPredicted = true
+			in.predOut = predOut
+			for _, ch := range specs {
+				e.tryInitiateChild(now, in, ch, in.specDepth+1)
+			}
+		}
+	}
+}
+
+func (e *DCE) tryInitiateChild(now uint64, parent *Instance, ch *Chain, specDepth int) {
+	if parent.initiated == nil {
+		parent.initiated = make(map[*Chain]bool, 2)
+	}
+	if parent.initiated[ch] {
+		return
+	}
+	env := childEnv(parent)
+	if child := e.initiate(now, ch, &env, parent); child != nil {
+		child.specDepth = specDepth
+		parent.initiated[ch] = true
+	} else if len(e.deferred) < 64 {
+		e.deferred = append(e.deferred, deferredInit{parent: parent, chain: ch})
+		parent.initiated[ch] = true // the deferral owns the retry
+	}
+}
+
+// fireCompletionTriggers runs when in's (in-order) trigger slot comes up.
+func (e *DCE) fireCompletionTriggers(now uint64, in *Instance) {
+	pc := in.chain.BranchPC
+	e.initPred.Update(pc, in.outcome)
+
+	if e.cfg.InitMode == Predictive && in.specPredicted && in.predOut != in.outcome {
+		// Speculative initiations went down the wrong direction: flush
+		// everything younger and initiate the correct chains (paper §4.1).
+		e.flushYoungerThan(in)
+		e.C.Inc("predictive_flushes")
+	}
+	for _, ch := range e.cc.Lookup(pc, in.outcome) {
+		// Completion-confirmed initiations carry no new speculation.
+		e.tryInitiateChild(now, in, ch, in.specDepth)
+	}
+}
+
+// flushYoungerThan kills every instance initiated after in and rewinds the
+// affected prediction queues' allocation pointers. Instances are ordered by
+// id in e.all, so the walk starts from the tail and stops at in. Completed
+// younger instances were built on the wrong speculation too: their slots
+// rewind and their completion triggers are suppressed.
+func (e *DCE) flushYoungerThan(in *Instance) {
+	minAlloc := make(map[*Queue]uint64)
+	for k := len(e.all) - 1; k >= 0; k-- {
+		o := e.all[k]
+		if o.id <= in.id {
+			break
+		}
+		if o.killed {
+			continue
+		}
+		if o.completed {
+			o.killed = true // suppress the pending completion trigger
+		} else {
+			e.kill(o)
+		}
+		if o.q != nil && o.q.gen == o.slotGen {
+			if cur, ok := minAlloc[o.q]; !ok || o.slotIdx < cur {
+				minAlloc[o.q] = o.slotIdx
+			}
+		}
+	}
+	for q, idx := range minAlloc {
+		if q.alloc > idx {
+			q.alloc = idx
+		}
+		if q.fetch > q.alloc {
+			// Fetch already consumed rewound slots; the queue is out of
+			// sync until the next synchronization.
+			q.fetch = q.alloc
+		}
+	}
+	// Deferred initiations from flushed parents are dead.
+	live := e.deferred[:0]
+	for _, d := range e.deferred {
+		if !d.parent.killed {
+			live = append(live, d)
+		}
+	}
+	e.deferred = live
+}
+
+// Tick advances the engine one cycle. spareIssue/spareRS report the core's
+// per-cycle slack (used by the Core-Only configuration).
+func (e *DCE) Tick(now uint64, spareIssue, spareRS int) {
+	e.spareIssue = spareIssue
+	e.spareRS = spareRS
+
+	e.compactRun()
+	e.resolvePending()
+	e.completeExecution(now)
+	e.processTriggers(now)
+	e.retryDeferred(now)
+	e.issue(now)
+	e.compact()
+}
+
+// compactRun drops done instances from the scheduling scan set.
+func (e *DCE) compactRun() {
+	live := e.run[:0]
+	for _, in := range e.run {
+		if !in.done() {
+			live = append(live, in)
+		}
+	}
+	e.run = live
+}
+
+// resolvePending copies producer locals into waiting live-ins.
+func (e *DCE) resolvePending() {
+	for _, in := range e.run {
+		if in.done() || len(in.pending) == 0 {
+			continue
+		}
+		keep := in.pending[:0]
+		for _, p := range in.pending {
+			switch {
+			case p.src.killed:
+				e.kill(in)
+			case p.src.ready[p.srcLocal]:
+				in.vals[p.local] = p.src.vals[p.srcLocal]
+				in.ready[p.local] = true
+				in.wake = true
+			default:
+				keep = append(keep, p)
+			}
+		}
+		in.pending = keep
+	}
+}
+
+// completeExecution publishes results whose latency has elapsed and
+// completes instances whose branch resolved.
+func (e *DCE) completeExecution(now uint64) {
+	for _, in := range e.run {
+		if in.done() || len(in.inflight) == 0 {
+			continue
+		}
+		live := in.inflight[:0]
+		for _, i := range in.inflight {
+			if in.doneAt[i] > now {
+				live = append(live, i)
+				continue
+			}
+			in.executed[i] = true
+			in.wake = true
+			u := &in.chain.Uops[i]
+			if u.Dst >= 0 {
+				in.ready[u.Dst] = true
+			}
+			if i == len(in.chain.Uops)-1 {
+				// The chain's branch: the outcome is ready.
+				in.outcome = in.outcomes[i]
+				in.completed = true
+				e.activeRun--
+				e.C.Inc("completions")
+				// Push into the prediction queue.
+				if in.q.gen == in.slotGen {
+					s := in.q.slot(in.slotIdx)
+					s.filled = true
+					s.value = in.outcome
+				}
+			}
+		}
+		in.inflight = live
+	}
+}
+
+// processTriggers fires completion triggers strictly in initiation order,
+// concretizing environments so ancestor instances can be released.
+func (e *DCE) processTriggers(now uint64) {
+	for len(e.all) > 0 {
+		in := e.all[0]
+		if !in.done() {
+			return
+		}
+		// All our env references point at ancestors whose triggers have
+		// already fired (they are complete): concretize and drop them.
+		for r := range in.env {
+			ev := &in.env[r]
+			if !ev.known && ev.src != nil && ev.src.ready[ev.srcLocal] {
+				*ev = envVal{known: true, val: ev.src.vals[ev.srcLocal]}
+			}
+		}
+		if in.completed && !in.killed {
+			e.fireCompletionTriggers(now, in)
+		}
+		e.all = e.all[1:]
+	}
+}
+
+// retryDeferred re-attempts initiations that previously hit a full window
+// or queue.
+func (e *DCE) retryDeferred(now uint64) {
+	if len(e.deferred) == 0 {
+		return
+	}
+	// Detach the list first: a successful initiation can defer new child
+	// initiations, which must land on a fresh list rather than be lost to
+	// aliasing.
+	pending := e.deferred
+	e.deferred = nil
+	for _, d := range pending {
+		if d.parent.killed {
+			continue
+		}
+		env := childEnv(d.parent)
+		if e.initiate(now, d.chain, &env, d.parent) == nil {
+			e.deferred = append(e.deferred, d)
+		}
+	}
+}
+
+// issue schedules ready chain micro-ops onto the DCE's functional units
+// (or the core's spare slots for Core-Only). ALU micro-ops consume the
+// DCE's own issue bandwidth; loads consume load ports backed by the shared
+// D-cache (Figure 7: ALU0/ALU1 plus the D-cache path).
+func (e *DCE) issue(now uint64) {
+	budget := e.cfg.IssueWidth
+	if e.cfg.SharedWithCore {
+		budget = e.spareIssue
+	}
+	loads := e.cfg.LoadPorts
+	if budget <= 0 && loads <= 0 {
+		return
+	}
+	for _, in := range e.run {
+		if budget <= 0 && loads <= 0 {
+			return
+		}
+		if in.done() || !in.wake || in.unissued == 0 {
+			continue
+		}
+		stalled := true // no ready-but-unissued micro-op left behind
+		for i := range in.chain.Uops {
+			if in.issued[i] {
+				continue
+			}
+			u := &in.chain.Uops[i]
+			if e.cfg.InOrderChainExec && i > 0 && !in.issued[i-1] {
+				break
+			}
+			if !e.srcsReady(in, u) {
+				if e.cfg.InOrderChainExec {
+					break
+				}
+				continue
+			}
+			if u.Op == isa.OpLd {
+				if loads <= 0 {
+					stalled = false // retry when a port frees
+					continue
+				}
+				loads--
+			} else {
+				if budget <= 0 {
+					stalled = false
+					continue
+				}
+				budget--
+			}
+			e.executeUop(now, in, i, u)
+		}
+		// Sleep until an execution or live-in arrival wakes us.
+		if stalled {
+			in.wake = false
+		}
+	}
+}
+
+func (e *DCE) srcsReady(in *Instance, u *ChainUop) bool {
+	if u.Src1 >= 0 && !in.ready[u.Src1] {
+		return false
+	}
+	if u.Src2 >= 0 && !in.ready[u.Src2] {
+		return false
+	}
+	return true
+}
+
+// executeUop computes a chain micro-op's value functionally (against
+// committed memory) and models its latency.
+func (e *DCE) executeUop(now uint64, in *Instance, i int, u *ChainUop) {
+	in.issued[i] = true
+	in.inflight = append(in.inflight, i)
+	in.unissued--
+	e.C.Inc("uops_issued")
+	src := func(l int) uint64 {
+		if l < 0 {
+			return 0
+		}
+		return in.vals[l]
+	}
+	switch u.Op {
+	case isa.OpLd:
+		addr := src(u.Src1) + uint64(u.Imm)
+		if u.Scale > 0 {
+			addr += src(u.Src2) * uint64(u.Scale)
+		}
+		v := e.mem.Read(addr, u.MemSize)
+		if u.Signed {
+			v = emu.SignExtend(v, u.MemSize)
+		}
+		in.vals[u.Dst] = v
+		start := now
+		if e.dtlb != nil {
+			start = e.dtlb.Translate(now, addr)
+		}
+		in.doneAt[i] = e.dcache.AccessSecondary(start, addr)
+		e.C.Inc("loads_issued")
+	case isa.OpCmp:
+		b := src(u.Src2)
+		if u.UseImm {
+			b = uint64(u.Imm)
+		}
+		in.vals[u.Dst] = isa.CompareFlags(src(u.Src1), b).Pack()
+		in.doneAt[i] = now + 1
+	case isa.OpTest:
+		b := src(u.Src2)
+		if u.UseImm {
+			b = uint64(u.Imm)
+		}
+		in.vals[u.Dst] = isa.TestFlags(src(u.Src1), b).Pack()
+		in.doneAt[i] = now + 1
+	case isa.OpBr:
+		in.outcomes[i] = u.Cond.Eval(isa.UnpackFlags(src(u.Src1)))
+		in.doneAt[i] = now + 1
+	default:
+		b := src(u.Src2)
+		if u.UseImm {
+			b = uint64(u.Imm)
+		}
+		in.vals[u.Dst] = isa.ALUResult(u.Op, src(u.Src1), b, u.Imm)
+		lat := uint64(1)
+		if u.Op == isa.OpMul {
+			lat = 3
+		}
+		in.doneAt[i] = now + lat
+	}
+}
+
+// compact drops killed instances from the head of the trigger list (done
+// instances elsewhere are dropped by processTriggers).
+func (e *DCE) compact() {
+	for len(e.all) > 0 && e.all[0].killed {
+		e.all = e.all[1:]
+	}
+}
+
+// ActiveInstances returns the current window occupancy.
+func (e *DCE) ActiveInstances() int { return e.activeRun }

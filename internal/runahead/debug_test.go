@@ -1,0 +1,31 @@
+package runahead
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+)
+
+func TestDebugDCECounters(t *testing.T) {
+	p, _ := hardLoopProgram(4096, 77)
+	hier := testHierarchy()
+	c := core.New(core.DefaultConfig(), p, bpred.NewTAGESCL64(), hier, nil)
+	mini := Mini()
+	sys := New(mini, hier.DCache, c.Memory())
+	c.SetExtension(sys)
+	if _, err := c.Run(300_000); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dce counters:\n%s", sys.dce.C)
+	t.Logf("sys counters:\n%s", sys.C)
+	t.Logf("core dce_used=%d mispredicts=%d retired_br=%d",
+		c.C.Get("dce_predictions_used"), c.C.Get("mispredicts"), c.C.Get("retired_cond_branches"))
+	t.Logf("active=%d allLen=%d deferred=%d", sys.dce.activeRun, len(sys.dce.all), len(sys.dce.deferred))
+	for _, q := range sys.pqs.queues {
+		if q.branchPC != 0 {
+			t.Logf("queue pc=%d alloc=%d fetch=%d retire=%d active=%v throttle=%d gen=%d",
+				q.branchPC, q.alloc, q.fetch, q.retire, q.active, q.throttle, q.gen)
+		}
+	}
+}

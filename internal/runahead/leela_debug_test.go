@@ -1,0 +1,49 @@
+package runahead
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func TestDebugAstar(t *testing.T) {
+	debugKernel(t, "astar_06")
+}
+
+func TestDebugLeela(t *testing.T) {
+	debugKernel(t, "leela_17")
+}
+
+func debugKernel(t *testing.T, name string) {
+	w, err := workloads.ByName(name, workloads.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := testHierarchy()
+	c := core.New(core.DefaultConfig(), w.Prog, bpred.NewTAGESCL64(), hier, nil)
+	mini := Mini()
+	sys := New(mini, hier.DCache, c.Memory())
+	c.SetExtension(sys)
+	if _, err := c.Run(150_000); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dce counters:\n%s", sys.dce.C)
+	t.Logf("sys counters:\n%s", sys.C)
+	t.Logf("merge acc=%.2f sessions=%d found=%d", sys.mp.Accuracy(),
+		sys.mp.C.Get("sessions"), sys.mp.C.Get("merges_found"))
+	for _, ch := range sys.Chains() {
+		t.Logf("chain:\n%s", ch)
+	}
+	for _, q := range sys.pqs.queues {
+		if q.branchPC != 0 {
+			t.Logf("queue pc=%d alloc=%d fetch=%d retire=%d active=%v throttle=%d",
+				q.branchPC, q.alloc, q.fetch, q.retire, q.active, q.throttle)
+		}
+	}
+	for pc, bs := range c.Branches {
+		t.Logf("branch pc=%d execs=%d misp=%d taken=%.2f dceUsed=%d dceCorrect=%d",
+			pc, bs.Execs, bs.Mispred, float64(bs.Taken)/float64(bs.Execs), bs.DCEUsed, bs.DCECorrect)
+	}
+}

@@ -1,0 +1,44 @@
+package runahead
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+)
+
+// TestTraceQueueProgress is a diagnostic: it samples the prediction queue
+// pointers over time to show whether the DCE keeps ahead of fetch.
+func TestTraceQueueProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p, _ := hardLoopProgram(4096, 77)
+	hier := testHierarchy()
+	c := core.New(core.DefaultConfig(), p, bpred.NewTAGESCL64(), hier, nil)
+	mini := Mini()
+	sys := New(mini, hier.DCache, c.Memory())
+	c.SetExtension(sys)
+	// Warm up.
+	if _, err := c.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	lastSync := sys.dce.C.Get("syncs")
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 100; j++ {
+			c.Cycle()
+		}
+		var q *Queue
+		for _, qq := range sys.pqs.queues {
+			if qq.branchPC != 0 {
+				q = qq
+			}
+		}
+		syncs := sys.dce.C.Get("syncs")
+		t.Logf("cyc=%d alloc=%d fetch=%d active=%v win=%d all=%d def=%d syncs=%d(+%d) compl=%d wfull=%d",
+			c.Now(), q.alloc, q.fetch, q.active, sys.dce.activeRun, len(sys.dce.all),
+			len(sys.dce.deferred), syncs, syncs-lastSync, sys.dce.C.Get("completions"),
+			sys.dce.C.Get("init_window_full"))
+		lastSync = syncs
+	}
+}

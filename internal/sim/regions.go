@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// Region is one representative simulation region in the SimPoint-style
+// methodology the paper uses ("one to five representative regions per
+// benchmark ... weighted average of all the regions"). Regions differ by
+// data seed, standing in for different phases of the reference input.
+type Region struct {
+	Seed   int64
+	Weight float64
+}
+
+// DefaultRegions returns three equally weighted regions.
+func DefaultRegions() []Region {
+	return []Region{{Seed: 1, Weight: 1}, {Seed: 2, Weight: 1}, {Seed: 3, Weight: 1}}
+}
+
+// RunWeighted simulates each region of a workload and returns the
+// weight-averaged result (IPC, MPKI and the activity counters scale by
+// region weight).
+func RunWeighted(name string, scale workloads.Scale, cfg Config, regions []Region) (*Result, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("sim: no regions for %s", name)
+	}
+	var totalW float64
+	agg := &Result{Workload: name, PerBranch: make(map[uint64]BranchResult)}
+	var ipcW, mpkiW float64
+	for _, reg := range regions {
+		if reg.Weight <= 0 {
+			return nil, fmt.Errorf("sim: region weight %f must be positive", reg.Weight)
+		}
+		sc := scale
+		sc.Seed = reg.Seed
+		w, err := workloads.ByName(name, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: region seed %d: %w", reg.Seed, err)
+		}
+		agg.Config = r.Config
+		totalW += reg.Weight
+		ipcW += reg.Weight * r.IPC
+		mpkiW += reg.Weight * r.MPKI
+		agg.Cycles += r.Cycles
+		agg.Instrs += r.Instrs
+		agg.Branches += r.Branches
+		agg.Mispred += r.Mispred
+		agg.CoreUops += r.CoreUops
+		agg.CoreLoads += r.CoreLoads
+		agg.DCEUops += r.DCEUops
+		agg.DCELoads += r.DCELoads
+		agg.Syncs += r.Syncs
+		agg.Chains += r.Chains
+	}
+	agg.IPC = ipcW / totalW
+	agg.MPKI = mpkiW / totalW
+	return agg, nil
+}

@@ -1,0 +1,266 @@
+// Package sim wires a complete simulation: workload program, Table 1 core
+// and memory hierarchy, a branch predictor, and optionally a Branch
+// Runahead configuration. It produces the per-run metrics the experiment
+// harness aggregates into the paper's tables and figures.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/runahead"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// PredictorKind selects the baseline direction predictor.
+type PredictorKind int
+
+// Baseline predictors.
+const (
+	PredTage64 PredictorKind = iota // 64KB TAGE-SC-L (Table 1 baseline)
+	PredTage80                      // 80KB TAGE-SC-L (Figure 10 iso-storage)
+	PredMTage                       // MTAGE-SC, unlimited (Figure 11)
+	PredBimodal
+	PredGshare
+)
+
+func newPredictor(k PredictorKind) bpred.Predictor {
+	switch k {
+	case PredTage64:
+		return bpred.NewTAGESCL64()
+	case PredTage80:
+		return bpred.NewTAGESCL80()
+	case PredMTage:
+		return bpred.NewMTAGE()
+	case PredBimodal:
+		return bpred.NewBimodal(14)
+	case PredGshare:
+		return bpred.NewGshare(16, 14)
+	default:
+		panic(fmt.Sprintf("sim: unknown predictor kind %d", int(k)))
+	}
+}
+
+// Config describes one simulation.
+type Config struct {
+	Core      core.Config
+	Predictor PredictorKind
+	// BR enables Branch Runahead when non-nil.
+	BR *runahead.Config
+	// Warmup instructions excluded from the measured statistics.
+	Warmup uint64
+	// MaxInstrs is the measured instruction budget.
+	MaxInstrs uint64
+}
+
+// DefaultConfig returns the Table 1 baseline with a sensible budget.
+func DefaultConfig() Config {
+	return Config{
+		Core:      core.DefaultConfig(),
+		Predictor: PredTage64,
+		Warmup:    100_000,
+		MaxInstrs: 1_000_000,
+	}
+}
+
+// NewHierarchy builds the Table 1 memory system: 32KB L1I/L1D (2 ports,
+// 3-cycle), 2MB 12-way L2 (18-cycle), stream prefetcher into the LLC, DDR4.
+func NewHierarchy() core.Hierarchy {
+	mem := dram.New(dram.DefaultConfig())
+	l2 := cache.New(cache.Config{Name: "l2", SizeBytes: 2 << 20, LineBytes: 64,
+		Ways: 12, HitLatency: 18, MSHRs: 48}, mem)
+	dc := cache.New(cache.Config{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64,
+		Ways: 8, HitLatency: 3, Ports: 2, MSHRs: 16}, l2)
+	ic := cache.New(cache.Config{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64,
+		Ways: 8, HitLatency: 1, Ports: 1}, l2)
+	pf := cache.NewStreamPrefetcher(64, 16, 64, mem)
+	dc.AttachPrefetcher(pf, l2)
+	dtlb := cache.NewTLB(cache.DefaultTLBConfig(), l2)
+	return core.Hierarchy{ICache: ic, DCache: dc, L2: l2, Mem: mem, DTLB: dtlb}
+}
+
+// BranchResult is one static branch's measured behaviour.
+type BranchResult struct {
+	PC      uint64
+	Execs   uint64
+	Mispred uint64
+}
+
+// Result holds the measured metrics of one run (warmup excluded).
+type Result struct {
+	Workload  string
+	Config    string
+	Cycles    uint64
+	Instrs    uint64
+	Branches  uint64
+	Mispred   uint64
+	IPC       float64
+	MPKI      float64
+	CoreUops  uint64 // issued by the core (includes wrong path)
+	CoreLoads uint64
+
+	// Branch Runahead metrics (zero-valued for baselines).
+	DCEUops     uint64
+	DCELoads    uint64
+	Syncs       uint64
+	Chains      uint64
+	AvgChainLen float64
+	AGFraction  float64
+	MergeAcc    float64
+	// MergeAccLayout is the prior-work layout heuristic's accuracy on the
+	// same recoveries (paper §4.4's comparison).
+	MergeAccLayout float64
+	Breakdown      map[string]uint64
+	// ChainDumps holds the final chain-cache contents, disassembled (for
+	// the examples and debugging).
+	ChainDumps []string
+
+	// PerBranch is keyed by static branch PC.
+	PerBranch map[uint64]BranchResult
+
+	// Activity feeds the energy model.
+	Activity energy.RunActivity
+}
+
+// Run executes one simulation and returns its measured result.
+func Run(w *workloads.Workload, cfg Config) (*Result, error) {
+	hier := NewHierarchy()
+	c := core.New(cfg.Core, w.Prog, newPredictor(cfg.Predictor), hier, nil)
+	var sys *runahead.System
+	if cfg.BR != nil {
+		sys = runahead.New(*cfg.BR, hier.DCache, c.Memory())
+		sys.ShareTLB(hier.DTLB)
+		c.SetExtension(sys)
+	}
+
+	if cfg.Warmup > 0 {
+		if _, err := c.Run(cfg.Warmup); err != nil {
+			return nil, fmt.Errorf("sim %s: warmup: %w", w.Name, err)
+		}
+	}
+	snap := snapshot(c, sys, hier)
+	if _, err := c.Run(snap.retired + cfg.MaxInstrs); err != nil {
+		return nil, fmt.Errorf("sim %s: %w", w.Name, err)
+	}
+	end := snapshot(c, sys, hier)
+
+	res := &Result{
+		Workload:  w.Name,
+		Config:    configName(cfg),
+		Cycles:    end.cycles - snap.cycles,
+		Instrs:    end.retired - snap.retired,
+		Branches:  end.branches - snap.branches,
+		Mispred:   end.mispred - snap.mispred,
+		CoreUops:  end.issued - snap.issued,
+		CoreLoads: end.issuedLoads - snap.issuedLoads,
+		PerBranch: make(map[uint64]BranchResult),
+	}
+	res.IPC = stats.Rate(res.Instrs, res.Cycles)
+	res.MPKI = stats.PerKilo(res.Mispred, res.Instrs)
+	for pc, bs := range c.Branches {
+		prev := snap.perBranch[pc]
+		res.PerBranch[pc] = BranchResult{
+			PC:      pc,
+			Execs:   bs.Execs - prev.Execs,
+			Mispred: bs.Mispred - prev.Mispred,
+		}
+	}
+
+	res.Activity = energy.RunActivity{
+		Cycles:       res.Cycles,
+		CoreUops:     res.CoreUops,
+		CoreLoads:    res.CoreLoads,
+		L2Accesses:   (end.l2 - snap.l2),
+		DRAMAccesses: (end.dramR - snap.dramR) + (end.dramW - snap.dramW),
+		Flushes:      end.flushes - snap.flushes,
+	}
+	if sys != nil {
+		res.DCEUops = sys.UopsIssued() - snap.dceUops
+		res.DCELoads = sys.LoadsIssued() - snap.dceLoads
+		res.Syncs = sys.DCEStats().Get("syncs") - snap.syncs
+		res.Chains = sys.C.Get("chains_installed")
+		res.AvgChainLen = sys.AvgChainLen()
+		res.AGFraction = sys.AGChainFraction()
+		res.MergeAcc = sys.MergeAccuracy()
+		res.MergeAccLayout = sys.LayoutMergeAccuracy()
+		res.Breakdown = diffBreakdown(sys.PredictionBreakdown(), snap.breakdown)
+		for _, ch := range sys.Chains() {
+			res.ChainDumps = append(res.ChainDumps, ch.String())
+		}
+		res.Activity.HasDCE = true
+		res.Activity.DCEUops = res.DCEUops
+		res.Activity.DCELoads = res.DCELoads
+		res.Activity.Syncs = res.Syncs
+	}
+	return res, nil
+}
+
+func configName(cfg Config) string {
+	name := ""
+	switch cfg.Predictor {
+	case PredTage64:
+		name = "tage64"
+	case PredTage80:
+		name = "tage80"
+	case PredMTage:
+		name = "mtage"
+	case PredBimodal:
+		name = "bimodal"
+	case PredGshare:
+		name = "gshare"
+	}
+	if cfg.BR != nil {
+		name += "+br-" + cfg.BR.Name
+	}
+	return name
+}
+
+type snap struct {
+	cycles, retired, branches, mispred uint64
+	issued, issuedLoads, flushes       uint64
+	l2, dramR, dramW                   uint64
+	dceUops, dceLoads, syncs           uint64
+	breakdown                          map[string]uint64
+	perBranch                          map[uint64]BranchResult
+}
+
+func snapshot(c *core.Core, sys *runahead.System, hier core.Hierarchy) snap {
+	s := snap{
+		cycles:      c.C.Get("cycles"),
+		retired:     c.C.Get("retired"),
+		branches:    c.C.Get("retired_cond_branches"),
+		mispred:     c.C.Get("mispredicts"),
+		issued:      c.C.Get("issued"),
+		issuedLoads: c.C.Get("issued_loads"),
+		flushes:     c.C.Get("flushes"),
+		l2:          hier.L2.C.Get("hits") + hier.L2.C.Get("misses"),
+		perBranch:   make(map[uint64]BranchResult),
+	}
+	if d, ok := hier.Mem.(*dram.DRAM); ok {
+		s.dramR = d.C.Get("reads")
+		s.dramW = d.C.Get("writes")
+	}
+	for pc, bs := range c.Branches {
+		s.perBranch[pc] = BranchResult{PC: pc, Execs: bs.Execs, Mispred: bs.Mispred}
+	}
+	if sys != nil {
+		s.dceUops = sys.UopsIssued()
+		s.dceLoads = sys.LoadsIssued()
+		s.syncs = sys.DCEStats().Get("syncs")
+		s.breakdown = sys.PredictionBreakdown()
+	}
+	return s
+}
+
+func diffBreakdown(end, start map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(end))
+	for k, v := range end {
+		out[k] = v - start[k]
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/runahead"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TestSurveyAllKernels runs baseline vs Mini Branch Runahead on every
+// kernel and logs the landscape. It asserts only the headline property:
+// geomean IPC improves and mean MPKI drops substantially.
+func TestSurveyAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var ipcRatios, mpkiDrops []float64
+	for _, w := range workloads.All(workloads.SmallScale()) {
+		base, err := Run(w, smallCfg(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mini := runahead.Mini()
+		w2, _ := workloads.ByName(w.Name, workloads.SmallScale())
+		br, err := Run(w2, smallCfg(&mini))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipcRatios = append(ipcRatios, br.IPC/base.IPC)
+		drop := 0.0
+		if base.MPKI > 0 {
+			drop = 100 * (base.MPKI - br.MPKI) / base.MPKI
+		}
+		mpkiDrops = append(mpkiDrops, drop)
+		t.Logf("%-13s base IPC=%.2f MPKI=%5.2f | BR IPC=%.2f MPKI=%5.2f | dMPKI=%5.1f%% dIPC=%+5.1f%% chains=%d late=%d inact=%d",
+			w.Name, base.IPC, base.MPKI, br.IPC, br.MPKI, drop,
+			100*(br.IPC/base.IPC-1), br.Chains, br.Breakdown["late"], br.Breakdown["inactive"])
+	}
+	gm := stats.GeoMean(ipcRatios)
+	meanDrop := stats.Mean(mpkiDrops)
+	t.Logf("geomean IPC ratio %.3f, mean MPKI reduction %.1f%%", gm, meanDrop)
+	if gm < 1.03 {
+		t.Fatalf("geomean IPC ratio %.3f, want >= 1.03", gm)
+	}
+	if meanDrop < 20 {
+		t.Fatalf("mean MPKI reduction %.1f%%, want >= 20%%", meanDrop)
+	}
+}

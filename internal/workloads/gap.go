@@ -1,0 +1,252 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// gapGraph builds the CSR used by a GAP kernel and loads it at the standard
+// bases: row pointers at baseA, column indices at baseB, edge weights at
+// baseC, per-vertex properties at baseD, noise at baseE.
+func gapGraph(s Scale, seed int64) (*graph.CSR, *program.Builder) {
+	g := graph.PowerLaw(s.GraphNodes, s.GraphDeg, seed)
+	b := program.NewBuilder("gap")
+	b.DataU32(baseA, g.RowPtr)
+	b.DataU32(baseB, g.ColIdx)
+	b.DataU32(baseC, g.Weights)
+	return g, b
+}
+
+// Register conventions shared by the GAP kernels.
+const (
+	rRow   = isa.R1  // row pointer base
+	rCol   = isa.R2  // column index base
+	rWgt   = isa.R8  // weight base
+	rProp  = isa.R7  // property array base
+	rV     = isa.R3  // current vertex
+	rE     = isa.R5  // current edge index
+	rEnd   = isa.R9  // edge range end
+	rU     = isa.R10 // neighbour vertex
+	rTmp   = isa.R11
+	rTmp2  = isa.R15
+	rAcc   = isa.R4
+	rMask  = isa.R6  // vertex index mask
+	rEpoch = isa.R14 // pass counter
+)
+
+// gapProlog emits base-register setup and the per-vertex outer loop head:
+// advance v (wrapping, bumping the epoch at wrap) and load its edge range.
+// Falls through with rE/rEnd set; the kernel emits optional per-vertex code
+// and then its own "edges" label. Empty ranges loop back to "outer".
+func gapProlog(b *program.Builder, nMask int64) {
+	b.MovI(rRow, int64(baseA)).
+		MovI(rCol, int64(baseB)).
+		MovI(rWgt, int64(baseC)).
+		MovI(rProp, int64(baseD)).
+		MovI(rV, 0).
+		MovI(rAcc, 0).
+		MovI(rEpoch, 1).
+		MovI(rMask, nMask).
+		Label("outer").
+		AddI(rV, rV, 1).
+		And(rV, rV, rMask).
+		CmpI(rV, 0).
+		Br(isa.CondNE, "scan").
+		AddI(rEpoch, rEpoch, 1). // new pass
+		Label("scan").
+		LdIdx(rE, rRow, rV, 4, 0, 4, false).   // start = rowptr[v]
+		LdIdx(rEnd, rRow, rV, 4, 4, 4, false). // end = rowptr[v+1]
+		Cmp(rE, rEnd).
+		Br(isa.CondUGE, "outer")
+}
+
+// gapEdgeEpilog emits the per-edge loop tail, including the surrounding
+// per-edge computation every GAP kernel carries (scoring, accumulation).
+func gapEdgeEpilog(b *program.Builder) {
+	emitWork(b, 8)
+	b.AddI(rE, rE, 1).
+		Cmp(rE, rEnd).
+		Br(isa.CondULT, "edges").
+		Jmp("outer")
+}
+
+// buildBFS reproduces the GAP breadth-first-search visited check: for each
+// neighbour, branch on whether it was already visited this pass; unvisited
+// neighbours are marked (stores that later chain loads observe).
+func buildBFS(s Scale) *Workload {
+	g, b := gapGraph(s, s.Seed+20)
+	visited := make([]uint32, g.N)
+	b.DataU32(baseD, visited)
+	gapProlog(b, int64(g.N-1))
+	b.Label("edges").
+		LdIdx(rU, rCol, rE, 4, 0, 4, false).    // u = colidx[e]
+		LdIdx(rTmp, rProp, rU, 4, 0, 4, false). // visited[u]
+		Cmp(rTmp, rEpoch).
+		Br(isa.CondEQ, "skip").            // HARD: already visited this pass?
+		StIdx(rEpoch, rProp, rU, 4, 0, 4). // visited[u] = epoch
+		AddI(rAcc, rAcc, 1).
+		Label("skip")
+	gapEdgeEpilog(b)
+	return &Workload{Prog: b.MustBuild(),
+		About: "BFS frontier expansion; branch on the visited flag of a loaded neighbour"}
+}
+
+// buildCC reproduces connected-components label propagation: branch on a
+// comparison of two loaded labels; the winning label is stored through.
+func buildCC(s Scale) *Workload {
+	g, b := gapGraph(s, s.Seed+21)
+	r := rand.New(rand.NewSource(s.Seed + 210))
+	labels := randU32s(r, g.N, 1<<30)
+	noise := randU32s(r, g.N, 1<<30)
+	b.DataU32(baseD, labels)
+	b.DataU32(baseE, noise)
+	gapProlog(b, int64(g.N-1))
+	// Refresh label[v] from the noise pool each scan so propagation never
+	// converges to an all-biased branch (the continuous churn of GAP's
+	// trial loops).
+	b.Add(rTmp2, rV, rEpoch).
+		And(rTmp2, rTmp2, rMask).
+		MovI(isa.R12, int64(baseE)).
+		LdIdx(rTmp2, isa.R12, rTmp2, 4, 0, 4, false).
+		StIdx(rTmp2, rProp, rV, 4, 0, 4). // label[v] = fresh value
+		Label("edges").
+		LdIdx(rU, rCol, rE, 4, 0, 4, false).
+		LdIdx(rTmp, rProp, rU, 4, 0, 4, false).  // lu = label[u]
+		LdIdx(rTmp2, rProp, rV, 4, 0, 4, false). // lv = label[v]
+		Cmp(rTmp, rTmp2).
+		Br(isa.CondUGE, "skip").         // HARD: label comparison
+		StIdx(rTmp, rProp, rV, 4, 0, 4). // label[v] = lu
+		AddI(rAcc, rAcc, 1).
+		Label("skip")
+	gapEdgeEpilog(b)
+	return &Workload{Prog: b.MustBuild(),
+		About: "connected components label propagation; branch on loaded label comparison"}
+}
+
+// buildTC reproduces triangle counting's sorted-adjacency intersection:
+// the three-way compare of two loaded vertex ids is the hard branch pair.
+func buildTC(s Scale) *Workload {
+	g, b := gapGraph(s, s.Seed+22)
+	b.MovI(rRow, int64(baseA)).
+		MovI(rCol, int64(baseB)).
+		MovI(rV, 0).
+		MovI(rAcc, 0).
+		MovI(rMask, int64(g.N-1)).
+		MovI(isa.R12, 1103515245).
+		Label("outer").
+		// Pick vertex a pseudo-randomly; b is a's successor vertex.
+		Mul(rV, rV, isa.R12).
+		AddI(rV, rV, 12345).
+		And(rV, rV, rMask).
+		AddI(rTmp2, rV, 1).
+		And(rTmp2, rTmp2, rMask).                    // vertex b
+		LdIdx(rE, rRow, rV, 4, 0, 4, false).         // i = rowptr[a]
+		LdIdx(rEnd, rRow, rV, 4, 4, 4, false).       // endA
+		LdIdx(isa.R13, rRow, rTmp2, 4, 0, 4, false). // j = rowptr[b]
+		LdIdx(isa.R16, rRow, rTmp2, 4, 4, 4, false). // endB
+		Label("merge").
+		Cmp(rE, rEnd).
+		Br(isa.CondUGE, "outer").
+		Cmp(isa.R13, isa.R16).
+		Br(isa.CondUGE, "outer")
+	emitWork(b, 6)                         // per-step intersection bookkeeping
+	b.LdIdx(rU, rCol, rE, 4, 0, 4, false). // x = adjA[i]
+						LdIdx(rTmp, rCol, isa.R13, 4, 0, 4, false). // y = adjB[j]
+						Cmp(rU, rTmp).
+						Br(isa.CondEQ, "both").  // HARD: intersection hit
+						Br(isa.CondULT, "advA"). // HARD: which list advances
+						AddI(isa.R13, isa.R13, 1).
+						Jmp("merge").
+						Label("advA").
+						AddI(rE, rE, 1).
+						Jmp("merge").
+						Label("both").
+						AddI(rAcc, rAcc, 1).
+						AddI(rE, rE, 1).
+						AddI(isa.R13, isa.R13, 1).
+						Jmp("merge")
+	return &Workload{Prog: b.MustBuild(),
+		About: "triangle counting adjacency intersection; three-way compare of loaded vertex ids"}
+}
+
+// buildBC reproduces betweenness centrality's dependency pass: a BFS-style
+// visited branch plus a second data-dependent branch on the accumulated
+// path count's parity.
+func buildBC(s Scale) *Workload {
+	g, b := gapGraph(s, s.Seed+23)
+	r := rand.New(rand.NewSource(s.Seed + 230))
+	sigma := randU32s(r, g.N, 1<<16)
+	b.DataU32(baseD, sigma)
+	gapProlog(b, int64(g.N-1))
+	b.Label("edges").
+		LdIdx(rU, rCol, rE, 4, 0, 4, false).
+		LdIdx(rTmp, rProp, rU, 4, 0, 4, false).  // sigma[u]
+		LdIdx(rTmp2, rProp, rV, 4, 0, 4, false). // sigma[v]
+		Cmp(rTmp, rTmp2).
+		Br(isa.CondUGE, "skip"). // HARD: path-count comparison
+		Add(rTmp, rTmp, rTmp2).
+		StIdx(rTmp, rProp, rU, 4, 0, 4). // sigma[u] += sigma[v]
+		TestI(rTmp, 1).
+		Br(isa.CondEQ, "skip"). // HARD: parity of the accumulated count
+		AddI(rAcc, rAcc, 1).
+		Label("skip")
+	gapEdgeEpilog(b)
+	return &Workload{Prog: b.MustBuild(),
+		About: "betweenness centrality accumulation; chained data-dependent branches on path counts"}
+}
+
+// buildPR reproduces PageRank's contribution scan: branch on whether a
+// neighbour's loaded rank clears the contribution threshold.
+func buildPR(s Scale) *Workload {
+	g, b := gapGraph(s, s.Seed+24)
+	r := rand.New(rand.NewSource(s.Seed + 240))
+	ranks := randU32s(r, g.N, 1000)
+	b.DataU32(baseD, ranks)
+	gapProlog(b, int64(g.N-1))
+	b.Label("edges").
+		LdIdx(rU, rCol, rE, 4, 0, 4, false).
+		LdIdx(rTmp, rProp, rU, 4, 0, 4, false). // rank[u]
+		CmpI(rTmp, 500).
+		Br(isa.CondLT, "skip"). // HARD: rank threshold
+		Add(rAcc, rAcc, rTmp).
+		Label("skip")
+	gapEdgeEpilog(b)
+	return &Workload{Prog: b.MustBuild(),
+		About: "PageRank contribution scan; branch on a loaded neighbour rank threshold"}
+}
+
+// buildSSSP reproduces delta-stepping edge relaxation: dist[u] vs
+// dist[v]+w, with successful relaxations stored through and the source
+// distance refreshed every pass so the branch never settles.
+func buildSSSP(s Scale) *Workload {
+	g, b := gapGraph(s, s.Seed+25)
+	r := rand.New(rand.NewSource(s.Seed + 250))
+	dist := randU32s(r, g.N, 1<<20)
+	noise := randU32s(r, g.N, 1<<20)
+	b.DataU32(baseD, dist)
+	b.DataU32(baseE, noise)
+	gapProlog(b, int64(g.N-1))
+	// Refresh dist[v] from the noise pool (stand-in for frontier churn).
+	b.Add(rTmp2, rV, rEpoch).
+		And(rTmp2, rTmp2, rMask).
+		MovI(isa.R12, int64(baseE)).
+		LdIdx(rTmp2, isa.R12, rTmp2, 4, 0, 4, false).
+		StIdx(rTmp2, rProp, rV, 4, 0, 4). // dist[v] = fresh
+		Label("edges").
+		LdIdx(rU, rCol, rE, 4, 0, 4, false).
+		LdIdx(rTmp, rProp, rV, 4, 0, 4, false).   // du = dist[v]
+		LdIdx(isa.R13, rWgt, rE, 4, 0, 4, false). // w = weights[e]
+		Add(rTmp, rTmp, isa.R13).                 // nd = du + w
+		LdIdx(rTmp2, rProp, rU, 4, 0, 4, false).  // dv = dist[u]
+		Cmp(rTmp, rTmp2).
+		Br(isa.CondUGE, "skip").         // HARD: relaxation test
+		StIdx(rTmp, rProp, rU, 4, 0, 4). // dist[u] = nd
+		AddI(rAcc, rAcc, 1).
+		Label("skip")
+	gapEdgeEpilog(b)
+	return &Workload{Prog: b.MustBuild(),
+		About: "SSSP edge relaxation; branch on dist[u] vs dist[v]+w with relaxing stores"}
+}

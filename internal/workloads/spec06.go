@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildAstar06 reproduces grid pathfinding where the comparison against a
+// loaded tile cost decides the next step — the branch is its own affector:
+// its direction changes the address the next iteration loads.
+func buildAstar06(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 5))
+	n := s.ArrayElems
+	grid := randU32s(r, n, 1000)
+	b := program.NewBuilder("astar_06")
+	b.DataU32(baseA, grid)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, 0). // pos
+		MovI(isa.R4, 0). // path cost
+		MovI(isa.R6, int64(n-1)).
+		Label("loop").
+		LdIdx(isa.R2, isa.R1, isa.R3, 4, 0, 4, false). // tile cost
+		// Revisits mutate the tile (agents update heuristics), so the walk
+		// never settles into a cycle a history predictor could memorize.
+		XorI(isa.R7, isa.R2, 0x2A5).
+		StIdx(isa.R7, isa.R1, isa.R3, 4, 0, 4).
+		CmpI(isa.R2, 500).
+		Br(isa.CondLT, "cheap"). // HARD + AFFECTOR: decides the step size
+		MovI(isa.R5, 63).        // expensive tile: jump a row
+		Jmp("step").
+		Label("cheap").
+		MovI(isa.R5, 1). // cheap tile: next column
+		Label("step").
+		Add(isa.R4, isa.R4, isa.R2)
+	emitWork(b, 12) // open-list bookkeeping
+	b.Add(isa.R3, isa.R3, isa.R5).
+		And(isa.R3, isa.R3, isa.R6).
+		Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "grid pathfinding; the hard branch is an affector of its own next address"}
+}
+
+// buildMCF06 reproduces mcf's pointer-chasing node walk: the hard branch
+// depends on a value two dependent loads deep, stressing prediction
+// timeliness (late chains).
+func buildMCF06(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 6))
+	n := s.ArrayElems
+	// nodes[i] = {next u32, val u32}; next is a random permutation cycle so
+	// the walk visits everything with no spatial locality.
+	perm := r.Perm(n)
+	nodes := make([]uint32, 2*n)
+	for i := 0; i < n; i++ {
+		nodes[2*i] = uint32(perm[i])
+		nodes[2*i+1] = uint32(r.Intn(1000))
+	}
+	b := program.NewBuilder("mcf_06")
+	b.DataU32(baseA, nodes)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, 0). // current node
+		MovI(isa.R4, 0).
+		Label("loop").
+		ShlI(isa.R5, isa.R3, 3).                       // byte offset of node
+		LdIdx(isa.R3, isa.R1, isa.R5, 1, 0, 4, false). // node = node.next (chase)
+		ShlI(isa.R5, isa.R3, 3).
+		LdIdx(isa.R2, isa.R1, isa.R5, 1, 4, 4, false). // node.val
+		CmpI(isa.R2, 500).
+		Br(isa.CondGE, "skip"). // HARD: value at the end of a pointer chase
+		Add(isa.R4, isa.R4, isa.R2).
+		Label("skip")
+	emitWork(b, 14) // per-node flow bookkeeping
+	b.Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "network node walk; hard branch behind two dependent loads (timeliness stress)"}
+}
+
+// buildGCC06 reproduces symbol-table probing: hash a generated key and
+// branch on whether the slot is occupied (~half the table is).
+func buildGCC06(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 7))
+	n := s.ArrayElems
+	table := make([]uint32, n)
+	for i := range table {
+		if r.Intn(2) == 0 {
+			table[i] = uint32(r.Intn(1<<30) + 1)
+		}
+	}
+	b := program.NewBuilder("gcc_06")
+	b.DataU32(baseA, table)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, 1). // key state
+		MovI(isa.R4, 0).
+		MovI(isa.R6, int64(n-1)).
+		MovI(isa.R12, 0x9E3779B9).
+		Label("loop").
+		Mul(isa.R3, isa.R3, isa.R12). // next key
+		AddI(isa.R3, isa.R3, 1).
+		And(isa.R5, isa.R3, isa.R6).                   // idx = hash & mask
+		LdIdx(isa.R2, isa.R1, isa.R5, 4, 0, 4, false). // slot = table[idx]
+		CmpI(isa.R2, 0).
+		Br(isa.CondEQ, "empty"). // HARD: slot occupancy
+		AddI(isa.R4, isa.R4, 1). // collision path
+		Label("empty")
+	emitWork(b, 12) // symbol-record processing
+	b.Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "hash-table probe; branch on loaded slot occupancy"}
+}
+
+// buildGobmk06 is a second GO-engine kernel: liberty counting with a guard
+// structure like leela's but a different board encoding and denser work.
+func buildGobmk06(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 8))
+	n := s.ArrayElems
+	board := randU32s(r, n, 4)     // 0 empty, 1 black, 2 white, 3 edge
+	liberties := randU32s(r, n, 8) // liberty counts
+	b := program.NewBuilder("gobmk_06")
+	b.DataU32(baseA, board).DataU32(baseB, liberties)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R7, int64(baseB)).
+		MovI(isa.R9, 0). // pos
+		MovI(isa.R4, 0).
+		MovI(isa.R6, int64(n-1)).
+		MovI(isa.R12, 69069).
+		Label("loop").
+		Mul(isa.R9, isa.R9, isa.R12).
+		AddI(isa.R9, isa.R9, 1).
+		And(isa.R9, isa.R9, isa.R6).
+		LdIdx(isa.R2, isa.R1, isa.R9, 4, 0, 4, false). // board[pos]
+		CmpI(isa.R2, 1).
+		Br(isa.CondNE, "next").                        // HARD: is it a black stone?
+		LdIdx(isa.R5, isa.R7, isa.R9, 4, 0, 4, false). // liberties[pos]
+		CmpI(isa.R5, 2).
+		Br(isa.CondGE, "next"). // HARD, guarded: in atari?
+		Add(isa.R4, isa.R4, isa.R5).
+		Label("next")
+	emitWork(b, 12) // board pattern bookkeeping
+	b.Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "GO liberty scan; guarded data-dependent branch pair on random positions"}
+}
+
+// buildBzip206 reproduces the block-sort inner comparison: compare bytes at
+// two rotating positions and branch; conditional bookkeeping stores feed
+// later iterations.
+func buildBzip206(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 9))
+	n := s.ArrayElems
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(r.Intn(8)) // small alphabet, like text blocks
+	}
+	ranks := randU32s(r, n, 256)
+	b := program.NewBuilder("bzip2_06")
+	b.Data(baseA, data).DataU32(baseB, ranks)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R8, int64(baseB)).
+		MovI(isa.R3, 0).
+		MovI(isa.R5, 7919). // second cursor, coprime stride
+		MovI(isa.R4, 0).
+		MovI(isa.R6, int64(n-1)).
+		Label("loop").
+		LdIdx(isa.R2, isa.R1, isa.R3, 1, 0, 1, false). // a = data[i]
+		LdIdx(isa.R7, isa.R1, isa.R5, 1, 0, 1, false). // b = data[j]
+		Cmp(isa.R2, isa.R7).
+		Br(isa.CondUGE, "noless").                     // HARD: block-sort byte comparison
+		LdIdx(isa.R9, isa.R8, isa.R3, 4, 0, 4, false). // rank[i]
+		AddI(isa.R9, isa.R9, 1).
+		StIdx(isa.R9, isa.R8, isa.R3, 4, 0, 4). // rank[i]++
+		Label("noless")
+	emitWork(b, 10) // bucket pointer maintenance
+	b.AddI(isa.R3, isa.R3, 1).
+		And(isa.R3, isa.R3, isa.R6).
+		AddI(isa.R5, isa.R5, 1).
+		And(isa.R5, isa.R5, isa.R6).
+		Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "block-sort comparison; hard byte-compare branch with rank updates"}
+}
+
+// buildSjeng06 reproduces attack-table move generation: branch on a loaded
+// attack mask bit for pseudo-random square pairs.
+func buildSjeng06(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 10))
+	n := s.ArrayElems
+	attacks := randU32s(r, n, 1<<16)
+	b := program.NewBuilder("sjeng_06")
+	b.DataU32(baseA, attacks)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, 1).
+		MovI(isa.R4, 0).
+		MovI(isa.R6, int64(n-1)).
+		MovI(isa.R12, 1103515245).
+		Label("loop").
+		Mul(isa.R3, isa.R3, isa.R12).
+		AddI(isa.R3, isa.R3, 12345).
+		And(isa.R5, isa.R3, isa.R6).
+		LdIdx(isa.R2, isa.R1, isa.R5, 4, 0, 4, false). // mask = attacks[sq]
+		TestI(isa.R2, 0x10).
+		Br(isa.CondEQ, "noattack"). // HARD: attack bit of a loaded mask
+		AddI(isa.R4, isa.R4, 1).
+		Label("noattack")
+	emitWork(b, 12) // move-list generation work
+	b.Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "attack-table probe; branch on a loaded mask bit"}
+}
+
+// buildOmnetpp06 reproduces linked event-list traversal: chase a next
+// pointer and branch on the event kind stored at the node.
+func buildOmnetpp06(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 11))
+	n := s.ArrayElems
+	perm := r.Perm(n)
+	nodes := make([]uint32, 2*n)
+	for i := 0; i < n; i++ {
+		nodes[2*i] = uint32(perm[i])
+		nodes[2*i+1] = uint32(r.Intn(4)) // event kind
+	}
+	b := program.NewBuilder("omnetpp_06")
+	b.DataU32(baseA, nodes)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, 0).
+		MovI(isa.R4, 0).
+		Label("loop").
+		ShlI(isa.R5, isa.R3, 3).
+		LdIdx(isa.R3, isa.R1, isa.R5, 1, 0, 4, false). // next event
+		ShlI(isa.R5, isa.R3, 3).
+		LdIdx(isa.R2, isa.R1, isa.R5, 1, 4, 4, false). // kind
+		CmpI(isa.R2, 1).
+		Br(isa.CondNE, "other"). // HARD: event kind at the end of a chase
+		AddI(isa.R4, isa.R4, 2).
+		Label("other")
+	emitWork(b, 14) // message handling work
+	b.Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "event-list traversal; hard branch on the kind of the chased event node"}
+}

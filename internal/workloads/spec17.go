@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildMCF17 reproduces mcf's network-simplex arc scan: iterate a large arc
+// array and branch on the sign of each arc's reduced cost. The cost array
+// is random, so the branch is pure data.
+func buildMCF17(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed))
+	n := s.ArrayElems
+	costs := make([]uint32, n)
+	for i := range costs {
+		costs[i] = uint32(int32(r.Intn(1000) - 500)) // signed costs in [-500, 500)
+	}
+	b := program.NewBuilder("mcf_17")
+	b.DataU32(baseA, costs)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, 0).          // arc index
+		MovI(isa.R4, 0).          // pushes accumulator
+		MovI(isa.R6, int64(n-1)). // wrap mask
+		Label("loop").
+		LdIdx(isa.R2, isa.R1, isa.R3, 4, 0, 4, true). // reduced cost (signed)
+		CmpI(isa.R2, 0).
+		Br(isa.CondGE, "skip"). // HARD: sign of a random cost
+		Sub(isa.R4, isa.R4, isa.R2).
+		Label("skip")
+	emitWork(b, 12) // basis bookkeeping surrounding the arc test
+	b.AddI(isa.R3, isa.R3, 1).
+		And(isa.R3, isa.R3, isa.R6).
+		Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "network-simplex arc scan; branch on the sign of a loaded reduced cost"}
+}
+
+// buildLeela17 is the paper's §3 motivating example: scan the 8 neighbours
+// of a random GO board position; branch A tests board[sq] == EMPTY, and
+// branch B (a self-atari test) is guarded by A.
+func buildLeela17(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 1))
+	n := s.ArrayElems
+	board := make([]uint32, n) // 0..3; 2 = EMPTY (~40% of squares)
+	for i := range board {
+		if r.Intn(100) < 40 {
+			board[i] = 2
+		} else {
+			board[i] = uint32(r.Intn(2) * 3)
+		}
+	}
+	atari := randU32s(r, n, 1024)
+	offsets := []uint32{1, uint32(n) - 1, 64, uint32(n) - 64, 65, uint32(n) - 65, 63, uint32(n) - 63}
+
+	b := program.NewBuilder("leela_17")
+	b.DataU32(baseA, board).DataU32(baseB, atari).DataU32(baseC, offsets)
+	b.MovI(isa.R1, int64(baseA)). // board
+					MovI(isa.R7, int64(baseB)). // atari table
+					MovI(isa.R8, int64(baseC)). // neighbour offsets
+					MovI(isa.R9, 0).            // pos
+					MovI(isa.R4, 0).            // work accumulator
+					MovI(isa.R6, int64(n-1)).   // board mask
+					MovI(isa.R12, 1103515245).  // LCG multiplier
+					MovI(isa.R13, 12345).       // LCG increment
+					Label("outer").
+					Mul(isa.R9, isa.R9, isa.R12). // pos = LCG(pos): a random board walk
+					Add(isa.R9, isa.R9, isa.R13).
+					And(isa.R9, isa.R9, isa.R6).
+					MovI(isa.R3, 0). // i = 0
+					Label("inner").
+					LdIdx(isa.R10, isa.R8, isa.R3, 4, 0, 4, false). // off = offsets[i]
+					Add(isa.R11, isa.R9, isa.R10).                  // sq = pos + off
+					And(isa.R11, isa.R11, isa.R6).
+					LdIdx(isa.R2, isa.R1, isa.R11, 4, 0, 4, false). // board[sq]
+					CmpI(isa.R2, 2).
+					Br(isa.CondNE, "skip").                         // BRANCH A (hard): board[sq] == EMPTY
+					LdIdx(isa.R5, isa.R7, isa.R11, 4, 0, 4, false). // atari[sq]
+					AndI(isa.R5, isa.R5, 7).
+					CmpI(isa.R5, 1).
+					Br(isa.CondLE, "skip"). // BRANCH B (hard, guarded by A)
+					Add(isa.R4, isa.R4, isa.R5)
+	emitWork(b, 10) // do_work()
+	b.Label("skip")
+	emitWork(b, 8) // per-neighbour bookkeeping
+	b.AddI(isa.R3, isa.R3, 1).
+		CmpI(isa.R3, 8).
+		Br(isa.CondLT, "inner").
+		Jmp("outer")
+	return &Workload{Prog: b.MustBuild(),
+		About: "GO board neighbour scan (paper Figure 4): guarded pair of data-dependent branches"}
+}
+
+// buildXZ17 reproduces LZMA-style match scanning: compare bytes at two
+// related positions of a noisy buffer; the equality branch is data.
+func buildXZ17(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 2))
+	n := s.ArrayElems
+	data := make([]byte, n)
+	for i := range data {
+		// A small alphabet makes matches common enough to be unpredictable
+		// (~25% equal), like partially compressible input.
+		data[i] = byte(r.Intn(4))
+	}
+	b := program.NewBuilder("xz_17")
+	b.Data(baseA, data)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, int64(n/2)). // i
+		MovI(isa.R5, 0).          // j = i - n/2
+		MovI(isa.R4, 0).          // match-length accumulator
+		MovI(isa.R6, int64(n-1)).
+		Label("loop").
+		LdIdx(isa.R2, isa.R1, isa.R3, 1, 0, 1, false). // data[i]
+		LdIdx(isa.R7, isa.R1, isa.R5, 1, 0, 1, false). // data[j]
+		Cmp(isa.R2, isa.R7).
+		Br(isa.CondNE, "nomatch"). // HARD: byte equality of noisy data
+		AddI(isa.R4, isa.R4, 1).
+		Label("nomatch")
+	emitWork(b, 12) // match bookkeeping and price updates
+	b.AddI(isa.R3, isa.R3, 1).
+		And(isa.R3, isa.R3, isa.R6).
+		AddI(isa.R5, isa.R5, 1).
+		And(isa.R5, isa.R5, isa.R6).
+		Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "LZMA match scan; branch on byte equality at two stream positions"}
+}
+
+// buildDeepsjeng17 reproduces a chess static-evaluation scan: load piece
+// codes from a board and branch on piece colour and on piece class, both
+// functions of loaded data.
+func buildDeepsjeng17(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 3))
+	n := s.ArrayElems
+	board := randU32s(r, n, 13) // piece codes 0..12
+	ptable := randU32s(r, 16, 900)
+	b := program.NewBuilder("deepsjeng_17")
+	b.DataU32(baseA, board).DataU32(baseB, ptable)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R8, int64(baseB)).
+		MovI(isa.R3, 0). // square
+		MovI(isa.R4, 0). // eval accumulator
+		MovI(isa.R6, int64(n-1)).
+		Label("loop").
+		LdIdx(isa.R2, isa.R1, isa.R3, 4, 0, 4, false). // piece = board[sq]
+		TestI(isa.R2, 1).
+		Br(isa.CondNE, "black").                       // HARD: piece colour bit
+		LdIdx(isa.R5, isa.R8, isa.R2, 4, 0, 4, false). // ptable[piece]
+		Add(isa.R4, isa.R4, isa.R5).
+		Label("black").
+		CmpI(isa.R2, 6).
+		Br(isa.CondGT, "major"). // HARD: piece class
+		AddI(isa.R4, isa.R4, 3).
+		Label("major")
+	emitWork(b, 14) // evaluation-term accumulation
+	b.AddI(isa.R3, isa.R3, 1).
+		And(isa.R3, isa.R3, isa.R6).
+		Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "chess evaluation scan; branches on loaded piece colour and class"}
+}
+
+// buildOmnetpp17 reproduces discrete-event-simulator heap maintenance:
+// compare event timestamps at two heap positions and conditionally swap
+// them (the stores make the chains' inputs time-varying).
+func buildOmnetpp17(s Scale) *Workload {
+	r := rand.New(rand.NewSource(s.Seed + 4))
+	n := s.ArrayElems
+	times := randU32s(r, n, 1<<30)
+	b := program.NewBuilder("omnetpp_17")
+	b.DataU32(baseA, times)
+	b.MovI(isa.R1, int64(baseA)).
+		MovI(isa.R3, 0). // i
+		MovI(isa.R4, 0). // swap count
+		MovI(isa.R6, int64(n-1)).
+		MovI(isa.R12, 2654435761).
+		Label("loop").
+		// j = hash(i): compare a sequential slot with a pseudo-random one.
+		Mul(isa.R5, isa.R3, isa.R12).
+		And(isa.R5, isa.R5, isa.R6).
+		LdIdx(isa.R2, isa.R1, isa.R3, 4, 0, 4, false). // t1 = times[i]
+		LdIdx(isa.R7, isa.R1, isa.R5, 4, 0, 4, false). // t2 = times[j]
+		Cmp(isa.R2, isa.R7).
+		Br(isa.CondULT, "noswap").              // HARD: timestamp comparison
+		StIdx(isa.R7, isa.R1, isa.R3, 4, 0, 4). // times[i] = t2
+		StIdx(isa.R2, isa.R1, isa.R5, 4, 0, 4). // times[j] = t1
+		AddI(isa.R4, isa.R4, 1).
+		Label("noswap")
+	emitWork(b, 12) // event-object maintenance
+	b.AddI(isa.R3, isa.R3, 1).
+		And(isa.R3, isa.R3, isa.R6).
+		Jmp("loop")
+	return &Workload{Prog: b.MustBuild(),
+		About: "event-queue sift; branch on loaded timestamp comparison, with swaps mutating the data"}
+}

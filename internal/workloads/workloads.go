@@ -1,0 +1,145 @@
+// Package workloads provides the synthetic benchmark kernels standing in
+// for the paper's SPEC CPU2017 INT Speed, SPEC CPU2006 INT and GAP suites
+// (the branch-misprediction-intensive subset with MPKI > 2 that the paper
+// selects). Each kernel reproduces the *hard-branch idiom* of its namesake:
+// a data-dependent branch whose outcome is a short dataflow function of
+// recently loaded data, uncorrelated with branch history — exactly the
+// population Figure 1 isolates — embedded in otherwise well-predicted
+// control flow. Data footprints are sized so the outcome sequences exceed
+// history-predictor capacity.
+//
+// Every kernel is an endless loop; runs are bounded by instruction budget.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Workload couples a generated program with its identity.
+type Workload struct {
+	Name  string
+	Suite string // "spec17", "spec06" or "gap"
+	Prog  *program.Program
+	// About describes the hard-branch idiom the kernel reproduces.
+	About string
+}
+
+// Scale sizes workload footprints. Default keeps outcome sequences well
+// beyond TAGE capacity; Small is for unit tests.
+type Scale struct {
+	ArrayElems int // power of two
+	GraphNodes int // power of two
+	GraphDeg   int
+	Seed       int64
+}
+
+// DefaultScale is used by the experiment harness.
+func DefaultScale() Scale {
+	return Scale{ArrayElems: 1 << 16, GraphNodes: 1 << 12, GraphDeg: 12, Seed: 1}
+}
+
+// SmallScale keeps unit tests fast.
+func SmallScale() Scale {
+	return Scale{ArrayElems: 1 << 12, GraphNodes: 1 << 9, GraphDeg: 8, Seed: 1}
+}
+
+// builders maps workload names to constructors, in the paper's Figure 1
+// order.
+var builders = []struct {
+	name  string
+	suite string
+	build func(Scale) *Workload
+}{
+	{"mcf_17", "spec17", buildMCF17},
+	{"leela_17", "spec17", buildLeela17},
+	{"xz_17", "spec17", buildXZ17},
+	{"deepsjeng_17", "spec17", buildDeepsjeng17},
+	{"omnetpp_17", "spec17", buildOmnetpp17},
+	{"astar_06", "spec06", buildAstar06},
+	{"mcf_06", "spec06", buildMCF06},
+	{"gcc_06", "spec06", buildGCC06},
+	{"gobmk_06", "spec06", buildGobmk06},
+	{"bzip2_06", "spec06", buildBzip206},
+	{"sjeng_06", "spec06", buildSjeng06},
+	{"omnetpp_06", "spec06", buildOmnetpp06},
+	{"cc", "gap", buildCC},
+	{"bfs", "gap", buildBFS},
+	{"tc", "gap", buildTC},
+	{"bc", "gap", buildBC},
+	{"pr", "gap", buildPR},
+	{"sssp", "gap", buildSSSP},
+}
+
+// Names returns all workload names in the paper's presentation order.
+func Names() []string {
+	out := make([]string, len(builders))
+	for i, b := range builders {
+		out[i] = b.name
+	}
+	return out
+}
+
+// All builds every workload at the given scale.
+func All(s Scale) []*Workload {
+	out := make([]*Workload, len(builders))
+	for i, b := range builders {
+		out[i] = b.build(s)
+		out[i].Name = b.name
+		out[i].Suite = b.suite
+	}
+	return out
+}
+
+// ByName builds one workload.
+func ByName(name string, s Scale) (*Workload, error) {
+	for _, b := range builders {
+		if b.name == name {
+			w := b.build(s)
+			w.Name = b.name
+			w.Suite = b.suite
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (known: %v)", name, Names())
+}
+
+// randU32s returns n values uniform in [0, span).
+func randU32s(r *rand.Rand, n, span int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(r.Intn(span))
+	}
+	return out
+}
+
+// emitWork appends n predictable data-processing micro-ops (the
+// surrounding computation every real benchmark iteration carries around
+// its hard branch: address arithmetic, bookkeeping, accumulation). It uses
+// the high registers R20-R23, which no kernel's hard-branch dataflow
+// touches, so the filler never enters a dependence chain.
+func emitWork(b *program.Builder, n int) {
+	ops := []isa.Op{isa.OpAdd, isa.OpXor, isa.OpShl, isa.OpSub, isa.OpOr, isa.OpMul}
+	for i := 0; i < n; i++ {
+		dst := isa.R20 + isa.Reg(i%4)
+		src := isa.R20 + isa.Reg((i+1)%4)
+		op := ops[i%len(ops)]
+		if op == isa.OpShl {
+			b.ALUI(op, dst, src, int64(i%7)+1)
+		} else {
+			b.ALU(op, dst, src, isa.R20+isa.Reg((i+2)%4))
+		}
+	}
+}
+
+// Memory layout bases shared by the kernels; each kernel uses a subset.
+const (
+	baseA = uint64(0x0100_0000)
+	baseB = uint64(0x0200_0000)
+	baseC = uint64(0x0300_0000)
+	baseD = uint64(0x0400_0000)
+	baseE = uint64(0x0500_0000)
+)

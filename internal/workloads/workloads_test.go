@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+func TestAllWorkloadsBuildAndValidate(t *testing.T) {
+	ws := All(SmallScale())
+	if len(ws) != 18 {
+		t.Fatalf("expected 18 workloads (paper Figure 1), got %d", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if err := w.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Suite != "spec17" && w.Suite != "spec06" && w.Suite != "gap" {
+			t.Errorf("%s: unknown suite %q", w.Name, w.Suite)
+		}
+		if w.About == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+	}
+}
+
+// TestWorkloadsRunForeverWithHardBranch functionally executes each kernel
+// and checks the two properties every kernel must have: it never halts
+// within the budget, and at least one conditional branch has a genuinely
+// mixed outcome distribution (the hard branch).
+func TestWorkloadsRunForeverWithHardBranch(t *testing.T) {
+	for _, w := range All(SmallScale()) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r := emu.NewRunner(w.Prog)
+			type stat struct{ execs, taken int }
+			branches := map[uint64]*stat{}
+			const steps = 60_000
+			for i := 0; i < steps; i++ {
+				pc := r.State.PC
+				res, err := r.StepOne()
+				if err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+				if res.Halted {
+					t.Fatalf("kernel halted at step %d; workloads must loop forever", i)
+				}
+				if res.IsCond {
+					s := branches[pc]
+					if s == nil {
+						s = &stat{}
+						branches[pc] = s
+					}
+					s.execs++
+					if res.Taken {
+						s.taken++
+					}
+				}
+			}
+			hard := false
+			for _, s := range branches {
+				if s.execs < 500 {
+					continue
+				}
+				rate := float64(s.taken) / float64(s.execs)
+				if rate > 0.10 && rate < 0.90 {
+					hard = true
+				}
+			}
+			if !hard {
+				for pc, s := range branches {
+					t.Logf("branch pc=%d execs=%d taken=%.2f", pc, s.execs,
+						float64(s.taken)/float64(s.execs))
+				}
+				t.Fatal("no mixed-outcome (hard) branch found")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("leela_17", SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "leela_17" || w.Suite != "spec17" {
+		t.Fatalf("wrong workload: %+v", w)
+	}
+	if _, err := ByName("nonexistent", SmallScale()); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
