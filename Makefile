@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check fmt vet lint build test race
+
+## check: the full pre-PR gate. Everything below must pass before merging.
+check: fmt vet lint build test race
+	@echo "check: OK"
+
+fmt:
+	@out="$$(gofmt -l cmd internal examples *.go)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+## lint: simulator-aware static analysis (determinism, config/stat
+## invariants). See DESIGN.md §7.
+lint:
+	$(GO) run ./cmd/brlint ./...
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+## race: the packages with cross-structure pointer protocols get an extra
+## race-detector pass.
+race:
+	$(GO) test -race ./internal/sim ./internal/runahead

@@ -1,0 +1,97 @@
+// Command brlint runs the simulator's static-analysis suite (package
+// repro/internal/analysis) over the whole module and reports findings as
+//
+//	file:line: rule: message
+//
+// exiting non-zero when any finding survives the //brlint:allow
+// directives. It is part of the pre-PR `make check` gate; see DESIGN.md
+// "Determinism & static analysis" for the rules and the rationale.
+//
+// Usage:
+//
+//	go run ./cmd/brlint ./...
+//
+// The package pattern argument is accepted for familiarity but the whole
+// module is always loaded: config-validate and result-agg are cross-package
+// contracts that only make sense module-wide.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	selected := all
+	if *rules != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		var known []string
+		for _, a := range all {
+			byName[a.Name] = a
+			known = append(known, a.Name)
+		}
+		selected = nil
+		for _, name := range strings.Split(*rules, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "brlint: unknown rule %q (known: %s)\n",
+					name, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brlint:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brlint:", err)
+		os.Exit(2)
+	}
+	diags := prog.Run(selected)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "brlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -109,7 +109,14 @@ func main() {
 		for pc, b := range res.PerBranch {
 			rows = append(rows, row{pc, b.Execs, b.Mispred})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].misps > rows[j].misps })
+		sort.Slice(rows, func(i, j int) bool {
+			// Tie-break on PC so equal-misprediction rows print in a
+			// stable order regardless of map iteration.
+			if rows[i].misps != rows[j].misps {
+				return rows[i].misps > rows[j].misps
+			}
+			return rows[i].pc < rows[j].pc
+		})
 		fmt.Println("\nper-branch (by mispredictions):")
 		for _, r := range rows {
 			if r.execs == 0 {

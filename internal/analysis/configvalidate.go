@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RuleConfigValidate is the config-validate rule name.
+const RuleConfigValidate = "config-validate"
+
+// ConfigValidate enforces the configuration-hygiene contract on every
+// package under internal/:
+//
+//  1. every exported struct type named Config or *Config (TLBConfig, ...)
+//     has a `Validate() error` method, and
+//  2. every exported New* constructor that takes such a Config (by value or
+//     pointer) calls Validate somewhere in its body,
+//
+// so an out-of-range Table 1/Table 2 parameter fails loudly at construction
+// instead of silently skewing IPC.
+func ConfigValidate() *Analyzer {
+	return &Analyzer{
+		Name: RuleConfigValidate,
+		Doc:  "exported Config structs must have Validate() error; New* constructors must call it",
+		Run:  runConfigValidate,
+	}
+}
+
+func runConfigValidate(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !pathContainsElem(pkg.Path, "internal") {
+			continue
+		}
+		configs := configStructs(pkg)
+		for _, named := range configs {
+			if !hasValidateMethod(named, pkg.Types) {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Position(named.Obj().Pos()),
+					Rule:    RuleConfigValidate,
+					Message: fmt.Sprintf("exported config struct %s.%s has no Validate() error method", pkg.Types.Name(), named.Obj().Name()),
+				})
+			}
+		}
+		diags = append(diags, checkConstructors(prog, pkg, configs)...)
+	}
+	return diags
+}
+
+// configStructs returns the package's exported struct types named Config
+// or ending in Config.
+func configStructs(pkg *Package) []*types.Named {
+	var out []*types.Named
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasSuffix(name, "Config") {
+			continue
+		}
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		out = append(out, named)
+	}
+	return out
+}
+
+// hasValidateMethod reports whether t (or *t) has a method with signature
+// `Validate() error`.
+func hasValidateMethod(named *types.Named, in *types.Package) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, in, "Validate")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return sig.Results().At(0).Type().String() == "error"
+}
+
+// checkConstructors flags exported New* functions that take one of the
+// package's Config types but never call a Validate method.
+func checkConstructors(prog *Program, pkg *Package, configs []*types.Named) []Diagnostic {
+	isConfig := func(t types.Type) bool {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		for _, c := range configs {
+			if types.Identical(t, c) {
+				return true
+			}
+		}
+		return false
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !ast.IsExported(name) || !strings.HasPrefix(name, "New") {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			takesConfig := false
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isConfig(sig.Params().At(i).Type()) {
+					takesConfig = true
+					break
+				}
+			}
+			if !takesConfig {
+				continue
+			}
+			if !callsValidate(fd.Body) {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Position(fd.Pos()),
+					Rule:    RuleConfigValidate,
+					Message: fmt.Sprintf("constructor %s takes a Config but never calls its Validate method", name),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+func callsValidate(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "config without Validate flagged",
+			path: "repro/internal/widget",
+			src: `package widget
+type Config struct{ N int }`,
+			want: []string{"config-validate: exported config struct widget.Config has no Validate() error method"},
+		},
+		{
+			name: "config with Validate is clean",
+			path: "repro/internal/widget",
+			src: `package widget
+import "errors"
+type Config struct{ N int }
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return errors.New("N must be positive")
+	}
+	return nil
+}`,
+		},
+		{
+			name: "suffixed config structs are covered",
+			path: "repro/internal/widget",
+			src: `package widget
+type TLBConfig struct{ N int }`,
+			want: []string{"config-validate: exported config struct widget.TLBConfig has no Validate() error method"},
+		},
+		{
+			name: "pointer-receiver Validate counts",
+			path: "repro/internal/widget",
+			src: `package widget
+type Config struct{ N int }
+func (c *Config) Validate() error { return nil }`,
+		},
+		{
+			name: "wrong Validate signature still flagged",
+			path: "repro/internal/widget",
+			src: `package widget
+type Config struct{ N int }
+func (c Config) Validate() bool { return true }`,
+			want: []string{"config-validate: exported config struct widget.Config has no Validate() error method"},
+		},
+		{
+			name: "constructor skipping Validate flagged",
+			path: "repro/internal/widget",
+			src: `package widget
+type Config struct{ N int }
+func (c Config) Validate() error { return nil }
+type Widget struct{ cfg Config }
+func New(cfg Config) *Widget { return &Widget{cfg: cfg} }`,
+			want: []string{"config-validate: constructor New takes a Config but never calls its Validate method"},
+		},
+		{
+			name: "constructor calling Validate is clean",
+			path: "repro/internal/widget",
+			src: `package widget
+type Config struct{ N int }
+func (c Config) Validate() error { return nil }
+type Widget struct{ cfg Config }
+func New(cfg Config) *Widget {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Widget{cfg: cfg}
+}`,
+		},
+		{
+			name: "pointer-config constructor is covered",
+			path: "repro/internal/widget",
+			src: `package widget
+type Config struct{ N int }
+func (c Config) Validate() error { return nil }
+type Widget struct{ cfg *Config }
+func NewWidget(cfg *Config) *Widget { return &Widget{cfg: cfg} }`,
+			want: []string{"config-validate: constructor NewWidget takes a Config but never calls its Validate method"},
+		},
+		{
+			name: "non-internal packages are out of scope",
+			path: "repro/cmd/tool",
+			src: `package tool
+type Config struct{ N int }
+func New(cfg Config) int { return cfg.N }`,
+		},
+		{
+			name: "unexported and non-struct Config types are out of scope",
+			path: "repro/internal/widget",
+			src: `package widget
+type config struct{ N int }
+type Configs = []int
+func f(c config) int { return c.N }
+func g(c Configs) int { return len(c) }`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := loadFixture(t, fixturePkg{path: tc.path, files: map[string]string{"fix.go": tc.src}})
+			got := diagStrings(prog, []*Analyzer{ConfigValidate()})
+			assertDiags(t, got, tc.want)
+		})
+	}
+}

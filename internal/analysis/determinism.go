@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simPathPackages are the package path suffixes on the simulation path:
+// anything executed between workload setup and the final Result must be
+// bit-reproducible across runs, so map iteration order, the global
+// math/rand state and wall-clock reads are all forbidden there.
+var simPathPackages = []string{
+	"internal/core",
+	"internal/runahead",
+	"internal/bpred",
+	"internal/cache",
+	"internal/dram",
+	"internal/emu",
+	"internal/sim",
+}
+
+// RuleDeterminism is the determinism rule name (for allow directives).
+const RuleDeterminism = "determinism"
+
+// OnSimPath reports whether an import path is one of the simulation-path
+// packages the determinism rule covers.
+func OnSimPath(path string) bool {
+	for _, s := range simPathPackages {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinism flags the three classic sources of run-to-run divergence in
+// simulation-path packages:
+//
+//   - `range` over a map (iteration order is deliberately randomized by the
+//     runtime; one reordered chain extraction changes every downstream
+//     number),
+//   - top-level math/rand functions (shared global state seeded per
+//     process),
+//   - time.Now (wall-clock dependence).
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: RuleDeterminism,
+		Doc:  "forbid map iteration, math/rand globals and time.Now on the simulation path",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !OnSimPath(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if t := pkg.Info.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							diags = append(diags, Diagnostic{
+								Pos:     prog.Position(n.Pos()),
+								Rule:    RuleDeterminism,
+								Message: fmt.Sprintf("range over map %s is nondeterministic on the simulation path; iterate sorted keys", t),
+							})
+						}
+					}
+				case *ast.CallExpr:
+					if d, ok := checkDeterminismCall(prog, pkg, n); ok {
+						diags = append(diags, d)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// checkDeterminismCall flags qualified calls to math/rand top-level
+// functions (not methods on an explicitly seeded *rand.Rand, which are
+// reproducible) and to time.Now.
+func checkDeterminismCall(prog *Program, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	// Only package-qualified calls: the receiver must be a package name,
+	// so rand.Intn is flagged while rng.Intn on a local *rand.Rand is not.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	if _, ok := pkg.Info.Uses[id].(*types.PkgName); !ok {
+		return Diagnostic{}, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		// rand.New/NewSource/NewZipf construct explicitly seeded
+		// generators — the endorsed deterministic pattern. Everything
+		// else at package level draws from process-global state.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return Diagnostic{}, false
+		}
+		return Diagnostic{
+			Pos:     prog.Position(call.Pos()),
+			Rule:    RuleDeterminism,
+			Message: fmt.Sprintf("%s.%s uses process-global random state; use a seeded *rand.Rand", fn.Pkg().Name(), fn.Name()),
+		}, true
+	case "time":
+		if fn.Name() == "Now" {
+			return Diagnostic{
+				Pos:     prog.Position(call.Pos()),
+				Rule:    RuleDeterminism,
+				Message: "time.Now makes simulation results wall-clock dependent; thread the cycle count instead",
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}

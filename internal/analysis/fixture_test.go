@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"testing"
+)
+
+// fixturePkg is one in-memory package for analyzer tests.
+type fixturePkg struct {
+	path  string
+	files map[string]string // filename -> source
+}
+
+// loadFixture type-checks in-memory packages (in slice order, so later
+// packages may import earlier ones) into a Program, mirroring what Load
+// does for on-disk sources.
+func loadFixture(t *testing.T, pkgs ...fixturePkg) *Program {
+	t.Helper()
+	prog := &Program{Fset: token.NewFileSet()}
+	imp := newChainImporter(prog.Fset)
+	for _, fp := range pkgs {
+		names := make([]string, 0, len(fp.files))
+		for name := range fp.files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(prog.Fset, name, fp.files[name], parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := check(prog.Fset, fp.path, files, imp)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", fp.path, err)
+		}
+		imp.module[fp.path] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		for _, f := range files {
+			prog.collectAllows(f)
+		}
+	}
+	return prog
+}
+
+// diagStrings renders diagnostics as "file:line: rule" for compact
+// comparison in tables.
+func diagStrings(prog *Program, analyzers []*Analyzer) []string {
+	var out []string
+	for _, d := range prog.Run(analyzers) {
+		out = append(out, d.String())
+	}
+	return out
+}

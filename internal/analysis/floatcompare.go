@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RuleFloatCompare is the float-compare rule name.
+const RuleFloatCompare = "float-compare"
+
+// floatComparePackages are the metric/aggregation packages where an exact
+// floating-point equality is almost always a bug (IPC ratios, weighted
+// means, energy totals accumulate rounding error).
+var floatComparePackages = []string{
+	"internal/sim",
+	"internal/stats",
+	"internal/energy",
+}
+
+// FloatCompare flags == and != between floating-point operands in the
+// metric packages; compare against a tolerance or restructure instead.
+func FloatCompare() *Analyzer {
+	return &Analyzer{
+		Name: RuleFloatCompare,
+		Doc:  "forbid ==/!= on floating-point operands in metric packages",
+		Run:  runFloatCompare,
+	}
+}
+
+func runFloatCompare(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		onPath := false
+		for _, s := range floatComparePackages {
+			if pathHasSuffix(pkg.Path, s) {
+				onPath = true
+				break
+			}
+		}
+		if !onPath {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pkg.Info.TypeOf(be.X)) || isFloat(pkg.Info.TypeOf(be.Y)) {
+					diags = append(diags, Diagnostic{
+						Pos:     prog.Position(be.OpPos),
+						Rule:    RuleFloatCompare,
+						Message: "exact floating-point comparison; use a tolerance (rounding error accumulates in weighted metrics)",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+func TestFloatCompare(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "float equality flagged",
+			path: "repro/internal/stats",
+			src: `package stats
+func f(a, b float64) bool { return a == b }`,
+			want: []string{"float-compare: exact floating-point comparison"},
+		},
+		{
+			name: "float inequality flagged",
+			path: "repro/internal/energy",
+			src: `package energy
+func f(a float32) bool { return a != 0 }`,
+			want: []string{"float-compare: exact floating-point comparison"},
+		},
+		{
+			name: "integer comparison is fine",
+			path: "repro/internal/stats",
+			src: `package stats
+func f(a, b uint64) bool { return a == b }`,
+		},
+		{
+			name: "ordered float comparisons are fine",
+			path: "repro/internal/stats",
+			src: `package stats
+func f(a, b float64) bool { return a < b || a >= b }`,
+		},
+		{
+			name: "packages off the metric path are out of scope",
+			path: "repro/internal/isa",
+			src: `package isa
+func f(a, b float64) bool { return a == b }`,
+		},
+		{
+			name: "allow directive suppresses",
+			path: "repro/internal/sim",
+			src: `package sim
+func f(a, b float64) bool {
+	return a == b //brlint:allow float-compare
+}`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := loadFixture(t, fixturePkg{path: tc.path, files: map[string]string{"fix.go": tc.src}})
+			got := diagStrings(prog, []*Analyzer{FloatCompare()})
+			assertDiags(t, got, tc.want)
+		})
+	}
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Load parses and type-checks every package in the module rooted at dir
+// (the directory containing go.mod). Test files are excluded: the rules
+// police the simulator, and tests legitimately use math/rand and map
+// iteration. Only the Go standard library may be imported besides module
+// packages — matching the repo's zero-dependency policy.
+func Load(dir string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := packageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{Fset: token.NewFileSet()}
+	type parsed struct {
+		path    string
+		dir     string
+		files   []*ast.File
+		imports []string
+	}
+	var pkgs []*parsed
+	for _, d := range dirs {
+		rel, err := filepath.Rel(dir, d)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		files, err := parseDir(prog.Fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		p := &parsed{path: importPath, dir: d, files: files}
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if strings.HasPrefix(ip, modPath+"/") && !seen[ip] {
+					seen[ip] = true
+					p.imports = append(p.imports, ip)
+				}
+			}
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// Topological order over module-internal imports so dependencies are
+	// checked before dependents.
+	byPath := make(map[string]*parsed, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.path] = p
+	}
+	var order []*parsed
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *parsed) error
+	visit = func(p *parsed) error {
+		switch state[p.path] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", p.path)
+		}
+		state[p.path] = 1
+		sort.Strings(p.imports)
+		for _, ip := range p.imports {
+			if dep, ok := byPath[ip]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.path] = 2
+		order = append(order, p)
+		return nil
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].path < pkgs[j].path })
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := newChainImporter(prog.Fset)
+	for _, p := range order {
+		pkg, err := check(prog.Fset, p.path, p.files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", p.path, err)
+		}
+		pkg.Dir = p.dir
+		imp.module[p.path] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		for _, f := range p.files {
+			prog.collectAllows(f)
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// check type-checks one package's parsed files.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// chainImporter resolves module-internal paths from the packages already
+// checked this run and everything else (the standard library) through the
+// source importer, which needs no pre-compiled export data.
+type chainImporter struct {
+	module map[string]*types.Package
+	std    types.ImporterFrom
+}
+
+func newChainImporter(fset *token.FileSet) *chainImporter {
+	return &chainImporter{
+		module: make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.module[path]; ok {
+		return p, nil
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test .go file, skipping VCS metadata and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		seen[filepath.Dir(path)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test .go files of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// RuleResultAgg is the result-agg rule name.
+const RuleResultAgg = "result-agg"
+
+// ResultAgg guards sim.RunWeighted's hand-rolled aggregation: every numeric
+// field of sim.Result must be referenced inside RunWeighted, so adding a
+// counter to Result without wiring it into the weighted aggregation is a
+// lint failure instead of a silently-zero column in the paper's tables.
+func ResultAgg() *Analyzer {
+	return &Analyzer{
+		Name: RuleResultAgg,
+		Doc:  "every numeric sim.Result field must be aggregated in sim.RunWeighted",
+		Run:  runResultAgg,
+	}
+}
+
+const (
+	resultAggPkg    = "internal/sim"
+	resultAggStruct = "Result"
+	resultAggFunc   = "RunWeighted"
+)
+
+func runResultAgg(prog *Program) []Diagnostic {
+	var pkg *Package
+	for _, p := range prog.Pkgs {
+		if pathHasSuffix(p.Path, resultAggPkg) {
+			pkg = p
+			break
+		}
+	}
+	if pkg == nil {
+		return nil // nothing to check in this program (e.g. analyzer fixtures)
+	}
+	tn, ok := pkg.Types.Scope().Lookup(resultAggStruct).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	var fn *ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == resultAggFunc {
+				fn = fd
+			}
+		}
+	}
+	if fn == nil || fn.Body == nil {
+		return []Diagnostic{{
+			Pos:     prog.Position(tn.Pos()),
+			Rule:    RuleResultAgg,
+			Message: fmt.Sprintf("%s defines %s but no %s aggregator", pkg.Path, resultAggStruct, resultAggFunc),
+		}}
+	}
+
+	// Collect every field of Result selected anywhere inside RunWeighted.
+	referenced := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		recv := selection.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if types.Identical(recv, named) {
+			referenced[sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !isNumeric(f.Type()) || referenced[f.Name()] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     prog.Position(f.Pos()),
+			Rule:    RuleResultAgg,
+			Message: fmt.Sprintf("sim.%s field %s is never aggregated in %s; weighted results will silently drop it", resultAggStruct, f.Name(), resultAggFunc),
+		})
+	}
+	return diags
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

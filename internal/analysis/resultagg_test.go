@@ -1,0 +1,99 @@
+package analysis
+
+import "testing"
+
+func TestResultAgg(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "dropped numeric field flagged",
+			src: `package sim
+type Result struct {
+	Workload string
+	Cycles   uint64
+	IPC      float64
+	Dumps    []string
+}
+func RunWeighted(rs []*Result) *Result {
+	agg := &Result{}
+	for _, r := range rs {
+		agg.Cycles += r.Cycles
+	}
+	return agg
+}`,
+			want: []string{"result-agg: sim.Result field IPC is never aggregated in RunWeighted"},
+		},
+		{
+			name: "all numeric fields aggregated is clean",
+			src: `package sim
+type Result struct {
+	Workload string
+	Cycles   uint64
+	IPC      float64
+}
+func RunWeighted(rs []*Result) *Result {
+	agg := &Result{}
+	for _, r := range rs {
+		agg.Cycles += r.Cycles
+		agg.IPC += r.IPC
+	}
+	return agg
+}`,
+		},
+		{
+			name: "non-numeric fields are not required",
+			src: `package sim
+type Result struct {
+	Workload  string
+	PerBranch map[uint64]uint64
+	Cycles    uint64
+}
+func RunWeighted(rs []*Result) *Result {
+	agg := &Result{}
+	for _, r := range rs {
+		agg.Cycles += r.Cycles
+	}
+	return agg
+}`,
+		},
+		{
+			name: "missing RunWeighted reported once",
+			src: `package sim
+type Result struct {
+	Cycles uint64
+}`,
+			want: []string{"result-agg: repro/internal/sim defines Result but no RunWeighted aggregator"},
+		},
+		{
+			name: "fields of an unrelated struct do not count as references",
+			src: `package sim
+type Result struct {
+	Cycles uint64
+	Instrs uint64
+}
+type other struct {
+	Instrs uint64
+}
+func RunWeighted(rs []*Result, o other) *Result {
+	agg := &Result{}
+	for _, r := range rs {
+		agg.Cycles += r.Cycles
+	}
+	_ = o.Instrs
+	return agg
+}`,
+			want: []string{"result-agg: sim.Result field Instrs is never aggregated in RunWeighted"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := loadFixture(t, fixturePkg{path: "repro/internal/sim", files: map[string]string{"fix.go": tc.src}})
+			got := diagStrings(prog, []*Analyzer{ResultAgg()})
+			assertDiags(t, got, tc.want)
+		})
+	}
+}

@@ -71,13 +71,39 @@ type Cache struct {
 	C *stats.Counters
 }
 
+// Validate checks the cache geometry: the indexing math assumes a
+// power-of-two line size and at least one whole set.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d must be a positive power of two", c.Name, c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways %d must be positive", c.Name, c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache %s: size %d must be a positive multiple of the %dB line",
+			c.Name, c.SizeBytes, c.LineBytes)
+	}
+	if c.SizeBytes/c.LineBytes < c.Ways {
+		return fmt.Errorf("cache %s: %d lines cannot fill one %d-way set",
+			c.Name, c.SizeBytes/c.LineBytes, c.Ways)
+	}
+	if c.HitLatency < 1 {
+		return fmt.Errorf("cache %s: hit latency must be >= 1 cycle", c.Name)
+	}
+	if c.Ports < 0 || c.MSHRs < 0 {
+		return fmt.Errorf("cache %s: ports and MSHRs must be non-negative", c.Name)
+	}
+	return nil
+}
+
 // New builds a cache level over next.
 func New(cfg Config, next MemLevel) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic("cache: " + err.Error())
+	}
 	nLines := cfg.SizeBytes / cfg.LineBytes
 	nSets := nLines / cfg.Ways
-	if nSets <= 0 {
-		panic(fmt.Sprintf("cache %s: set count %d must be positive", cfg.Name, nSets))
-	}
 	lineOff := uint(0)
 	for 1<<lineOff < cfg.LineBytes {
 		lineOff++

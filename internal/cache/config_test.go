@@ -1,0 +1,72 @@
+package cache
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8,
+		HitLatency: 3, Ports: 2, MSHRs: 16}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Table 1 L1D rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero size", func(c *Config) { c.SizeBytes = 0 }},
+		{"size not a line multiple", func(c *Config) { c.SizeBytes = 100 }},
+		{"non-power-of-two line", func(c *Config) { c.LineBytes = 48 }},
+		{"zero line", func(c *Config) { c.LineBytes = 0 }},
+		{"zero ways", func(c *Config) { c.Ways = 0 }},
+		{"fewer lines than ways", func(c *Config) { c.SizeBytes = 4 * 64; c.Ways = 8 }},
+		{"zero hit latency", func(c *Config) { c.HitLatency = 0 }},
+		{"negative ports", func(c *Config) { c.Ports = -1 }},
+		{"negative MSHRs", func(c *Config) { c.MSHRs = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("config %+v unexpectedly accepted", cfg)
+			}
+		})
+	}
+
+	t.Run("New panics on invalid config", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for zero-way cache")
+			}
+		}()
+		bad := good
+		bad.Ways = 0
+		New(bad, nil)
+	})
+}
+
+func TestTLBConfigValidate(t *testing.T) {
+	if err := DefaultTLBConfig().Validate(); err != nil {
+		t.Fatalf("default TLB config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*TLBConfig)
+	}{
+		{"zero ways", func(c *TLBConfig) { c.Ways = 0 }},
+		{"entries below ways", func(c *TLBConfig) { c.Entries = 2; c.Ways = 4 }},
+		{"entries not a ways multiple", func(c *TLBConfig) { c.Entries = 66 }},
+		{"tiny pages", func(c *TLBConfig) { c.PageBits = 4 }},
+		{"huge pages", func(c *TLBConfig) { c.PageBits = 40 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultTLBConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("config %+v unexpectedly accepted", cfg)
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package cache
 
-import "repro/internal/stats"
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
 
 // TLB models a data translation lookaside buffer. The paper's DCE shares
 // the D-TLB with the core ("The DCE shares the D-Cache and D-TLB with the
@@ -39,12 +43,26 @@ func DefaultTLBConfig() TLBConfig {
 	return TLBConfig{Entries: 64, Ways: 4, PageBits: 12, WalkLat: 20}
 }
 
+// Validate checks the TLB geometry.
+func (c TLBConfig) Validate() error {
+	if c.Ways < 1 {
+		return fmt.Errorf("tlb: ways %d must be >= 1", c.Ways)
+	}
+	if c.Entries < c.Ways || c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb: %d entries do not divide into %d-way sets", c.Entries, c.Ways)
+	}
+	if c.PageBits < 6 || c.PageBits > 30 {
+		return fmt.Errorf("tlb: page bits %d outside [6, 30]", c.PageBits)
+	}
+	return nil
+}
+
 // NewTLB builds a TLB whose walks are serviced by next (typically the L2).
 func NewTLB(cfg TLBConfig, next MemLevel) *TLB {
-	nSets := cfg.Entries / cfg.Ways
-	if nSets < 1 {
-		nSets = 1
+	if err := cfg.Validate(); err != nil {
+		panic("cache: " + err.Error())
 	}
+	nSets := cfg.Entries / cfg.Ways
 	t := &TLB{
 		sets:     make([][]tlbEntry, nSets),
 		nSets:    uint64(nSets),

@@ -64,6 +64,9 @@ type Core struct {
 // New wires a core over a program, a committed memory image, a branch
 // predictor, a memory hierarchy and an optional extension.
 func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext Extension) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
 	mem := emu.NewMemory()
 	for _, seg := range p.Data {
 		mem.LoadSegment(seg.Base, seg.Bytes)

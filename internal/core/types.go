@@ -15,6 +15,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/emu"
@@ -48,6 +50,50 @@ type Config struct {
 
 	// UopBytes is the footprint of one micro-op in the instruction cache.
 	UopBytes uint64
+}
+
+// Validate checks the pipeline geometry: a malformed width or zero-sized
+// structure deadlocks or trivially serializes the model rather than
+// erroring, so reject it up front.
+func (c Config) Validate() error {
+	pos := func(name string, v int) error {
+		if v < 1 {
+			return fmt.Errorf("core config: %s = %d must be >= 1", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth},
+		{"IssueWidth", c.IssueWidth},
+		{"RetireWidth", c.RetireWidth},
+		{"ROBSize", c.ROBSize},
+		{"RSSize", c.RSSize},
+		{"LSQSize", c.LSQSize},
+		{"FetchQSize", c.FetchQSize},
+		{"IntALUs", c.IntALUs},
+		{"MemPorts", c.MemPorts},
+	} {
+		if err := pos(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.ROBSize < c.RetireWidth {
+		return fmt.Errorf("core config: ROBSize = %d cannot sustain RetireWidth = %d",
+			c.ROBSize, c.RetireWidth)
+	}
+	if c.FrontendDepth < 1 {
+		return fmt.Errorf("core config: FrontendDepth must be >= 1")
+	}
+	if c.MulLatency < 1 || c.DivLatency < 1 || c.FPLatency < 1 {
+		return fmt.Errorf("core config: execution latencies must be >= 1")
+	}
+	if c.UopBytes < 1 {
+		return fmt.Errorf("core config: UopBytes must be >= 1")
+	}
+	return nil
 }
 
 // DefaultConfig returns the Table 1 baseline: 4-wide issue, 256-entry ROB,

@@ -1,0 +1,43 @@
+package dram
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DDR4-2400 default rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero channels", func(c *Config) { c.Channels = 0 }},
+		{"zero banks", func(c *Config) { c.BanksPerCh = 0 }},
+		{"row smaller than a line", func(c *Config) { c.RowBytes = 32 }},
+		{"non-power-of-two row", func(c *Config) { c.RowBytes = 1000 }},
+		{"negative queue", func(c *Config) { c.QueueSize = -1 }},
+		{"zero CAS", func(c *Config) { c.TCAS = 0 }},
+		{"zero bus occupancy", func(c *Config) { c.TBus = 0 }},
+		{"zero row cycle", func(c *Config) { c.RowCycle = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("config %+v unexpectedly accepted", cfg)
+			}
+		})
+	}
+
+	t.Run("New panics on invalid config", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for zero-channel DRAM")
+			}
+		}()
+		bad := DefaultConfig()
+		bad.Channels = 0
+		New(bad)
+	})
+}

@@ -9,7 +9,11 @@
 // bus and returns an absolute completion cycle.
 package dram
 
-import "repro/internal/stats"
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
 
 // Config holds the memory geometry and timing parameters.
 type Config struct {
@@ -66,8 +70,33 @@ type DRAM struct {
 	C   *stats.Counters
 }
 
+// Validate checks the memory geometry and timings: the address mapping
+// divides by RowBytes and indexes by channel and bank count, and zero
+// timings would give DRAM accesses cache-like latency.
+func (c Config) Validate() error {
+	if c.Channels < 1 {
+		return fmt.Errorf("dram: channels %d must be >= 1", c.Channels)
+	}
+	if c.BanksPerCh < 1 {
+		return fmt.Errorf("dram: banks per channel %d must be >= 1", c.BanksPerCh)
+	}
+	if c.RowBytes < 64 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("dram: row size %d must be a power of two >= one 64B line", c.RowBytes)
+	}
+	if c.QueueSize < 0 {
+		return fmt.Errorf("dram: queue size %d must be non-negative", c.QueueSize)
+	}
+	if c.TCAS < 1 || c.TRCD < 1 || c.TRP < 1 || c.TBus < 1 || c.RowCycle < 1 {
+		return fmt.Errorf("dram: device timings must all be >= 1 cycle")
+	}
+	return nil
+}
+
 // New builds a DRAM from cfg.
 func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic("dram: " + err.Error())
+	}
 	d := &DRAM{cfg: cfg, C: stats.NewCounters()}
 	d.chs = make([]channel, cfg.Channels)
 	for i := range d.chs {

@@ -102,7 +102,9 @@ func Energy(a RunActivity) float64 {
 func Delta(base, br RunActivity) float64 {
 	eb := Energy(base)
 	er := Energy(br)
-	if eb == 0 {
+	// Energy is a sum of non-negative terms; this guards the division
+	// without an exact float equality.
+	if eb <= 0 {
 		return 0
 	}
 	return 100 * (er - eb) / eb

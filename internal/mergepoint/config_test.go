@@ -1,0 +1,30 @@
+package mergepoint
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("paper default rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero ways", func(c *Config) { c.WPBWays = 0 }},
+		{"entries below ways", func(c *Config) { c.WPBEntries = 2; c.WPBWays = 4 }},
+		{"entries not a ways multiple", func(c *Config) { c.WPBEntries = 130 }},
+		{"zero walk", func(c *Config) { c.MaxWalk = 0 }},
+		{"zero merge distance", func(c *Config) { c.MaxMergeDist = 0 }},
+		{"zero poison distance", func(c *Config) { c.MaxPoisonDist = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("config %+v unexpectedly accepted", cfg)
+			}
+		})
+	}
+}

@@ -15,6 +15,8 @@
 package mergepoint
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/stats"
@@ -140,12 +142,27 @@ type Predictor struct {
 	C *stats.Counters
 }
 
+// Validate checks the predictor geometry and search limits.
+func (c Config) Validate() error {
+	if c.WPBWays < 1 {
+		return fmt.Errorf("mergepoint: WPB ways %d must be >= 1", c.WPBWays)
+	}
+	if c.WPBEntries < c.WPBWays || c.WPBEntries%c.WPBWays != 0 {
+		return fmt.Errorf("mergepoint: %d WPB entries do not divide into %d-way sets",
+			c.WPBEntries, c.WPBWays)
+	}
+	if c.MaxWalk < 1 || c.MaxMergeDist < 1 || c.MaxPoisonDist < 1 {
+		return fmt.Errorf("mergepoint: walk and search distances must be >= 1")
+	}
+	return nil
+}
+
 // New builds a predictor reporting into sink.
 func New(cfg Config, sink Sink) *Predictor {
-	nSets := cfg.WPBEntries / cfg.WPBWays
-	if nSets < 1 {
-		nSets = 1
+	if err := cfg.Validate(); err != nil {
+		panic("mergepoint: " + err.Error())
 	}
+	nSets := cfg.WPBEntries / cfg.WPBWays
 	p := &Predictor{cfg: cfg, sink: sink, nSets: nSets, C: stats.NewCounters()}
 	p.sets = make([][]wpbEntry, nSets)
 	for i := range p.sets {

@@ -2,6 +2,7 @@ package runahead
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/isa"
@@ -421,12 +422,27 @@ func (x *extractor) emit(u *isa.Uop, dstVid int) {
 	x.emitted = append(x.emitted, vu)
 }
 
+// searchRegs returns the registers with outstanding live-in requests in
+// ascending register order. Chains must be bit-identical across runs —
+// local register numbering feeds the chain cache, the DCE and the
+// disassembled dumps — so map iteration order must never reach build.
+func (x *extractor) searchRegs() []isa.Reg {
+	regs := make([]isa.Reg, 0, len(x.search))
+	// Key gathering is order-insensitive; the sort below restores determinism.
+	for r := range x.search { //brlint:allow determinism
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	return regs
+}
+
 // build reverses the emitted slice into program order, assigns local
 // registers and produces the Chain.
 func (x *extractor) build(branchPC uint64, tag Tag) (*Chain, error) {
 	// Unify any duplicate live-in requests for the same register: they all
 	// denote "the value of r at chain entry".
-	for _, entries := range x.search {
+	for _, r := range x.searchRegs() {
+		entries := x.search[r]
 		for i := 1; i < len(entries); i++ {
 			from, to := x.resolve(entries[i].vid), x.resolve(entries[0].vid)
 			if from != to {
@@ -468,14 +484,21 @@ func (x *extractor) build(branchPC uint64, tag Tag) (*Chain, error) {
 			OrigPC:  u.PC,
 		})
 	}
-	for r, entries := range x.search {
+	for _, r := range x.searchRegs() {
+		entries := x.search[r]
 		if len(entries) == 0 {
 			continue
 		}
 		ch.LiveIns = append(ch.LiveIns, LiveBinding{Arch: r, Local: assign(entries[0].vid)})
 	}
-	for r, vid := range x.liveOutVid {
-		ch.LiveOuts = append(ch.LiveOuts, LiveBinding{Arch: r, Local: assign(vid)})
+	liveOuts := make([]isa.Reg, 0, len(x.liveOutVid))
+	// Key gathering is order-insensitive; the sort below restores determinism.
+	for r := range x.liveOutVid { //brlint:allow determinism
+		liveOuts = append(liveOuts, r)
+	}
+	sort.Slice(liveOuts, func(i, j int) bool { return liveOuts[i] < liveOuts[j] })
+	for _, r := range liveOuts {
+		ch.LiveOuts = append(ch.LiveOuts, LiveBinding{Arch: r, Local: assign(x.liveOutVid[r])})
 	}
 	ch.NumLocals = len(local)
 

@@ -8,6 +8,8 @@
 // TAGE-SC-L predictions.
 package runahead
 
+import "fmt"
+
 // InitMode selects the chain initiation policy (paper §4.1).
 type InitMode uint8
 
@@ -82,6 +84,68 @@ type Config struct {
 	MoveElim         bool
 	Throttle         bool
 	InOrderChainExec bool
+}
+
+// Hard sizing limits, anchored to the largest configuration the paper
+// evaluates (Table 2's Big). The Mini budget is chain length <= 16 uops, a
+// 32-entry chain cache, 16 prediction queues and a 512-entry CEB; Big
+// relaxes each of those, and these caps bound even Big.
+const (
+	MaxChainCacheSize = 1024
+	MaxChainLenLimit  = 64
+	MaxNumQueues      = 64
+	MaxQueueEntries   = 1024
+	MaxHBTEntries     = 1024
+	MaxCEBEntries     = 2048
+)
+
+// Validate checks the configuration against the paper's structural
+// constraints, so a typo'd Table 2 parameter fails at construction instead
+// of silently skewing every downstream figure.
+func (c Config) Validate() error {
+	check := func(name string, v, lo, hi int) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("runahead config %q: %s = %d outside [%d, %d]", c.Name, name, v, lo, hi)
+		}
+		return nil
+	}
+	// A chain is at least one computation uop plus the triggering branch.
+	if err := check("MaxChainLen", c.MaxChainLen, 2, MaxChainLenLimit); err != nil {
+		return err
+	}
+	if err := check("ChainCacheSize", c.ChainCacheSize, 1, MaxChainCacheSize); err != nil {
+		return err
+	}
+	if err := check("Window", c.Window, 1, 4096); err != nil {
+		return err
+	}
+	if err := check("NumQueues", c.NumQueues, 1, MaxNumQueues); err != nil {
+		return err
+	}
+	if err := check("QueueEntries", c.QueueEntries, 1, MaxQueueEntries); err != nil {
+		return err
+	}
+	if err := check("HBTEntries", c.HBTEntries, 1, MaxHBTEntries); err != nil {
+		return err
+	}
+	if err := check("CEBEntries", c.CEBEntries, 1, MaxCEBEntries); err != nil {
+		return err
+	}
+	// The extraction walk happens inside the CEB, so a whole chain must fit.
+	if c.CEBEntries < c.MaxChainLen {
+		return fmt.Errorf("runahead config %q: CEBEntries = %d cannot hold a %d-uop chain",
+			c.Name, c.CEBEntries, c.MaxChainLen)
+	}
+	if !c.SharedWithCore && c.IssueWidth < 1 {
+		return fmt.Errorf("runahead config %q: a private DCE needs IssueWidth >= 1", c.Name)
+	}
+	if c.LoadPorts < 1 {
+		return fmt.Errorf("runahead config %q: LoadPorts = %d must be >= 1", c.Name, c.LoadPorts)
+	}
+	if c.InitMode > Predictive {
+		return fmt.Errorf("runahead config %q: unknown init mode %d", c.Name, c.InitMode)
+	}
+	return nil
 }
 
 // CoreOnly returns the 9KB Core-Only configuration from Table 2: no private

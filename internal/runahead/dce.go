@@ -1,6 +1,8 @@
 package runahead
 
 import (
+	"sort"
+
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/emu"
@@ -110,6 +112,9 @@ type DCE struct {
 
 // NewDCE wires the engine.
 func NewDCE(cfg *Config, dcache *cache.Cache, mem *emu.Memory, cc *ChainCache, pqs *PQSet) *DCE {
+	if err := cfg.Validate(); err != nil {
+		panic("runahead: " + err.Error())
+	}
 	return &DCE{
 		cfg:      cfg,
 		dcache:   dcache,
@@ -173,8 +178,15 @@ func (e *DCE) Sync(now uint64, pc uint64, taken bool, regs *emu.RegFile) {
 	}
 	e.deferred = live
 
-	// Synchronize the prediction queues with fetch.
-	for fam := range families {
+	// Synchronize the prediction queues with fetch. Ensure may evict a
+	// queue, so the iteration order must be deterministic: sort the PCs.
+	fams := make([]uint64, 0, len(families))
+	// Key gathering is order-insensitive; the sort below restores determinism.
+	for fam := range families { //brlint:allow determinism
+		fams = append(fams, fam)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+	for _, fam := range fams {
 		if q := e.pqs.Ensure(fam, now); q != nil {
 			q.reset(now)
 		}
@@ -404,7 +416,8 @@ func (e *DCE) flushYoungerThan(in *Instance) {
 			}
 		}
 	}
-	for q, idx := range minAlloc {
+	// Each iteration touches only its own queue, so order cannot matter.
+	for q, idx := range minAlloc { //brlint:allow determinism
 		if q.alloc > idx {
 			q.alloc = idx
 		}

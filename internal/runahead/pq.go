@@ -55,6 +55,9 @@ type PQSet struct {
 
 // NewPQSet builds the queue set.
 func NewPQSet(cfg *Config) *PQSet {
+	if err := cfg.Validate(); err != nil {
+		panic("runahead: " + err.Error())
+	}
 	s := &PQSet{cfg: cfg, byPC: make(map[uint64]*Queue, cfg.NumQueues)}
 	s.queues = make([]*Queue, cfg.NumQueues)
 	for i := range s.queues {

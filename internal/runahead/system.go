@@ -42,6 +42,9 @@ type System struct {
 // New builds a Branch Runahead system over the given D-cache and committed
 // memory (both shared with the core).
 func New(cfg Config, dcache *cache.Cache, mem *emu.Memory) *System {
+	if err := cfg.Validate(); err != nil {
+		panic("runahead: " + err.Error())
+	}
 	s := &System{
 		cfg: cfg,
 		hbt: NewHBT(cfg.HBTEntries),

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runahead"
+	"repro/internal/workloads"
+)
+
+func TestSimConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	withBR := DefaultConfig()
+	mini := runahead.Mini()
+	withBR.BR = &mini
+	if err := withBR.Validate(); err != nil {
+		t.Fatalf("default+Mini rejected: %v", err)
+	}
+
+	bad := DefaultConfig()
+	bad.MaxInstrs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero instruction budget accepted")
+	}
+
+	bad = DefaultConfig()
+	bad.Predictor = PredictorKind(99)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown predictor kind accepted")
+	}
+
+	bad = DefaultConfig()
+	bad.Core.ROBSize = 0
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "core config") {
+		t.Fatalf("nested core config error not surfaced: %v", err)
+	}
+
+	bad = withBR
+	brBad := runahead.Mini()
+	brBad.NumQueues = 0
+	bad.BR = &brBad
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "runahead config") {
+		t.Fatalf("nested runahead config error not surfaced: %v", err)
+	}
+
+	// Run must reject, not panic, on an invalid configuration.
+	if _, err := RunWeighted("mcf_17", workloads.SmallScale(), bad, DefaultRegions()); err == nil {
+		t.Fatal("RunWeighted accepted an invalid configuration")
+	}
+}

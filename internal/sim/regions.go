@@ -20,16 +20,27 @@ func DefaultRegions() []Region {
 	return []Region{{Seed: 1, Weight: 1}, {Seed: 2, Weight: 1}, {Seed: 3, Weight: 1}}
 }
 
-// RunWeighted simulates each region of a workload and returns the
-// weight-averaged result (IPC, MPKI and the activity counters scale by
-// region weight).
+// RunWeighted simulates each region of a workload and combines the results:
+// event counters (cycles, instructions, activity, per-branch counts, the
+// prediction breakdown) accumulate scaled by region weight, while ratio
+// metrics (IPC, MPKI, chain and merge statistics) are weight-averaged.
+// ChainDumps are taken from the last region, whose chain cache is the most
+// trained. The brlint result-agg rule checks that every numeric Result
+// field is handled here.
 func RunWeighted(name string, scale workloads.Scale, cfg Config, regions []Region) (*Result, error) {
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("sim: no regions for %s", name)
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", name, err)
+	}
 	var totalW float64
-	agg := &Result{Workload: name, PerBranch: make(map[uint64]BranchResult)}
-	var ipcW, mpkiW float64
+	agg := &Result{
+		Workload:  name,
+		PerBranch: make(map[uint64]BranchResult),
+		Breakdown: make(map[string]uint64),
+	}
+	var ipcW, mpkiW, chainLenW, agFracW, mergeW, mergeLayoutW float64
 	for _, reg := range regions {
 		if reg.Weight <= 0 {
 			return nil, fmt.Errorf("sim: region weight %f must be positive", reg.Weight)
@@ -46,20 +57,59 @@ func RunWeighted(name string, scale workloads.Scale, cfg Config, regions []Regio
 		}
 		agg.Config = r.Config
 		totalW += reg.Weight
+		// wu scales an event count by the region weight, rounding to
+		// nearest: with the conventional unit weights this is the plain sum.
+		wu := func(x uint64) uint64 { return uint64(reg.Weight*float64(x) + 0.5) }
+
 		ipcW += reg.Weight * r.IPC
 		mpkiW += reg.Weight * r.MPKI
-		agg.Cycles += r.Cycles
-		agg.Instrs += r.Instrs
-		agg.Branches += r.Branches
-		agg.Mispred += r.Mispred
-		agg.CoreUops += r.CoreUops
-		agg.CoreLoads += r.CoreLoads
-		agg.DCEUops += r.DCEUops
-		agg.DCELoads += r.DCELoads
-		agg.Syncs += r.Syncs
-		agg.Chains += r.Chains
+		chainLenW += reg.Weight * r.AvgChainLen
+		agFracW += reg.Weight * r.AGFraction
+		mergeW += reg.Weight * r.MergeAcc
+		mergeLayoutW += reg.Weight * r.MergeAccLayout
+
+		agg.Cycles += wu(r.Cycles)
+		agg.Instrs += wu(r.Instrs)
+		agg.Branches += wu(r.Branches)
+		agg.Mispred += wu(r.Mispred)
+		agg.CoreUops += wu(r.CoreUops)
+		agg.CoreLoads += wu(r.CoreLoads)
+		agg.DCEUops += wu(r.DCEUops)
+		agg.DCELoads += wu(r.DCELoads)
+		agg.Syncs += wu(r.Syncs)
+		agg.Chains += wu(r.Chains)
+
+		// Keyed accumulation is insensitive to iteration order.
+		for k, v := range r.Breakdown { //brlint:allow determinism
+			agg.Breakdown[k] += wu(v)
+		}
+		for pc, b := range r.PerBranch { //brlint:allow determinism
+			prev := agg.PerBranch[pc]
+			agg.PerBranch[pc] = BranchResult{
+				PC:      pc,
+				Execs:   prev.Execs + wu(b.Execs),
+				Mispred: prev.Mispred + wu(b.Mispred),
+			}
+		}
+
+		agg.Activity.Cycles += wu(r.Activity.Cycles)
+		agg.Activity.CoreUops += wu(r.Activity.CoreUops)
+		agg.Activity.CoreLoads += wu(r.Activity.CoreLoads)
+		agg.Activity.L2Accesses += wu(r.Activity.L2Accesses)
+		agg.Activity.DRAMAccesses += wu(r.Activity.DRAMAccesses)
+		agg.Activity.Flushes += wu(r.Activity.Flushes)
+		agg.Activity.DCEUops += wu(r.Activity.DCEUops)
+		agg.Activity.DCELoads += wu(r.Activity.DCELoads)
+		agg.Activity.Syncs += wu(r.Activity.Syncs)
+		agg.Activity.HasDCE = agg.Activity.HasDCE || r.Activity.HasDCE
+
+		agg.ChainDumps = r.ChainDumps
 	}
 	agg.IPC = ipcW / totalW
 	agg.MPKI = mpkiW / totalW
+	agg.AvgChainLen = chainLenW / totalW
+	agg.AGFraction = agFracW / totalW
+	agg.MergeAcc = mergeW / totalW
+	agg.MergeAccLayout = mergeLayoutW / totalW
 	return agg, nil
 }

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/runahead"
+	"repro/internal/workloads"
+)
+
+// TestRunWeightedUnequalWeights pins the aggregation contract: event
+// counters accumulate scaled by region weight while IPC/MPKI are
+// weight-averaged. Before this regression test, counters were summed
+// unweighted, so a 10%-weight region contributed its cycles at 10x its
+// SimPoint share.
+func TestRunWeightedUnequalWeights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := smallCfg(nil)
+	cfg.Warmup = 20_000
+	cfg.MaxInstrs = 60_000
+	scale := workloads.SmallScale()
+
+	r1, err := RunWeighted("mcf_17", scale, cfg, []Region{{Seed: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunWeighted("mcf_17", scale, cfg, []Region{{Seed: 2, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := RunWeighted("mcf_17", scale, cfg,
+		[]Region{{Seed: 1, Weight: 3}, {Seed: 2, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Counters: weighted sum. Each per-region value is scaled then rounded,
+	// so allow one count of rounding slack per region.
+	counters := []struct {
+		name          string
+		r1, r2, mixed uint64
+	}{
+		{"Cycles", r1.Cycles, r2.Cycles, mixed.Cycles},
+		{"Instrs", r1.Instrs, r2.Instrs, mixed.Instrs},
+		{"Branches", r1.Branches, r2.Branches, mixed.Branches},
+		{"Mispred", r1.Mispred, r2.Mispred, mixed.Mispred},
+		{"CoreUops", r1.CoreUops, r2.CoreUops, mixed.CoreUops},
+		{"CoreLoads", r1.CoreLoads, r2.CoreLoads, mixed.CoreLoads},
+		{"Activity.Cycles", r1.Activity.Cycles, r2.Activity.Cycles, mixed.Activity.Cycles},
+		{"Activity.DRAMAccesses", r1.Activity.DRAMAccesses, r2.Activity.DRAMAccesses, mixed.Activity.DRAMAccesses},
+	}
+	for _, c := range counters {
+		want := 3*c.r1 + c.r2
+		diff := int64(c.mixed) - int64(want)
+		if diff < -2 || diff > 2 {
+			t.Errorf("%s = %d, want 3*%d + %d = %d", c.name, c.mixed, c.r1, c.r2, want)
+		}
+	}
+
+	// Ratio metrics: weighted mean.
+	wantIPC := (3*r1.IPC + r2.IPC) / 4
+	if math.Abs(mixed.IPC-wantIPC) > 1e-9 {
+		t.Errorf("IPC = %v, want weighted mean %v", mixed.IPC, wantIPC)
+	}
+	wantMPKI := (3*r1.MPKI + r2.MPKI) / 4
+	if math.Abs(mixed.MPKI-wantMPKI) > 1e-9 {
+		t.Errorf("MPKI = %v, want weighted mean %v", mixed.MPKI, wantMPKI)
+	}
+
+	// Per-branch counts accumulate across regions.
+	if len(mixed.PerBranch) == 0 {
+		t.Fatal("aggregated PerBranch is empty")
+	}
+	var total uint64
+	for _, b := range mixed.PerBranch {
+		total += b.Execs
+	}
+	if total == 0 {
+		t.Fatal("aggregated PerBranch carries no executions")
+	}
+}
+
+// TestRunWeightedAggregatesBRMetrics checks that the Branch Runahead ratio
+// metrics and the prediction breakdown survive weighted aggregation (they
+// were dropped entirely before the result-agg lint existed).
+func TestRunWeightedAggregatesBRMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	mini := runahead.Mini()
+	cfg := smallCfg(&mini)
+	cfg.Warmup = 20_000
+	cfg.MaxInstrs = 60_000
+	res, err := RunWeighted("mcf_17", workloads.SmallScale(), cfg,
+		[]Region{{Seed: 1, Weight: 2}, {Seed: 2, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chains == 0 {
+		t.Fatal("no chains extracted; the BR aggregation checks below would be vacuous")
+	}
+	if res.AvgChainLen <= 0 {
+		t.Errorf("AvgChainLen = %v not aggregated", res.AvgChainLen)
+	}
+	if res.MergeAcc <= 0 {
+		t.Errorf("MergeAcc = %v not aggregated", res.MergeAcc)
+	}
+	if len(res.Breakdown) == 0 {
+		t.Error("prediction breakdown not aggregated")
+	}
+	if !res.Activity.HasDCE {
+		t.Error("Activity.HasDCE lost in aggregation")
+	}
+	if res.Activity.DCEUops == 0 {
+		t.Error("Activity.DCEUops not aggregated")
+	}
+}

@@ -58,6 +58,28 @@ type Config struct {
 	MaxInstrs uint64
 }
 
+// Validate checks the whole simulation configuration, including the nested
+// core and Branch Runahead configurations.
+func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if c.BR != nil {
+		if err := c.BR.Validate(); err != nil {
+			return err
+		}
+	}
+	switch c.Predictor {
+	case PredTage64, PredTage80, PredMTage, PredBimodal, PredGshare:
+	default:
+		return fmt.Errorf("sim: unknown predictor kind %d", int(c.Predictor))
+	}
+	if c.MaxInstrs == 0 {
+		return fmt.Errorf("sim: MaxInstrs must be positive")
+	}
+	return nil
+}
+
 // DefaultConfig returns the Table 1 baseline with a sensible budget.
 func DefaultConfig() Config {
 	return Config{
@@ -129,6 +151,9 @@ type Result struct {
 
 // Run executes one simulation and returns its measured result.
 func Run(w *workloads.Workload, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim %s: %w", w.Name, err)
+	}
 	hier := NewHierarchy()
 	c := core.New(cfg.Core, w.Prog, newPredictor(cfg.Predictor), hier, nil)
 	var sys *runahead.System
@@ -162,7 +187,9 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	}
 	res.IPC = stats.Rate(res.Instrs, res.Cycles)
 	res.MPKI = stats.PerKilo(res.Mispred, res.Instrs)
-	for pc, bs := range c.Branches {
+	// Keyed map construction is insensitive to iteration order; consumers
+	// sort before rendering.
+	for pc, bs := range c.Branches { //brlint:allow determinism
 		prev := snap.perBranch[pc]
 		res.PerBranch[pc] = BranchResult{
 			PC:      pc,
@@ -245,7 +272,8 @@ func snapshot(c *core.Core, sys *runahead.System, hier core.Hierarchy) snap {
 		s.dramR = d.C.Get("reads")
 		s.dramW = d.C.Get("writes")
 	}
-	for pc, bs := range c.Branches {
+	// Keyed map construction is insensitive to iteration order.
+	for pc, bs := range c.Branches { //brlint:allow determinism
 		s.perBranch[pc] = BranchResult{PC: pc, Execs: bs.Execs, Mispred: bs.Mispred}
 	}
 	if sys != nil {
@@ -259,7 +287,8 @@ func snapshot(c *core.Core, sys *runahead.System, hier core.Hierarchy) snap {
 
 func diffBreakdown(end, start map[string]uint64) map[string]uint64 {
 	out := make(map[string]uint64, len(end))
-	for k, v := range end {
+	// Keyed map construction is insensitive to iteration order.
+	for k, v := range end { //brlint:allow determinism
 		out[k] = v - start[k]
 	}
 	return out
