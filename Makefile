@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race
+.PHONY: check fmt vet lint build test race bench-json
 
 ## check: the full pre-PR gate. Everything below must pass before merging.
 check: fmt vet lint build test race
@@ -26,7 +26,14 @@ build:
 test: build
 	$(GO) test ./...
 
-## race: the packages with cross-structure pointer protocols get an extra
-## race-detector pass.
+## race: the packages with cross-structure pointer protocols and the
+## parallel experiment runner get an extra race-detector pass.
 race:
-	$(GO) test -race ./internal/sim ./internal/runahead
+	$(GO) test -race ./internal/sim ./internal/runahead ./internal/experiments/...
+
+## bench-json: record the simulator-throughput and parallel-suite
+## benchmarks as committed JSON (BENCH_2.json) for cross-PR comparison.
+bench-json:
+	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup' -run '^$$' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_2.json
+	@cat BENCH_2.json

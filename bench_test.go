@@ -10,6 +10,8 @@ package branchrunahead
 // prints the reproduced series alongside timing.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/workloads"
@@ -195,55 +197,55 @@ func BenchmarkTable1And2(b *testing.B) {
 // Ablations (DESIGN.md §5): each disables one design decision and reports
 // the Mini MPKI improvement that remains.
 
-func ablationMPKI(b *testing.B, mutate func(*BRConfig)) float64 {
+// benchAblation benchmarks one ablated configuration. The unmodified
+// baseline run only feeds the improvement metric, so it is setup: it runs
+// once before the timer starts, and the measured loop simulates only the
+// mutated configuration.
+func benchAblation(b *testing.B, mutate func(*BRConfig)) {
 	b.Helper()
 	scale := workloads.SmallScale()
 	base, err := Run("leela_17", RunConfig{Warmup: 20_000, MaxInstrs: 80_000, Scale: &scale})
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := Mini()
-	mutate(&cfg)
-	br, err := Run("leela_17", RunConfig{BR: &cfg, Warmup: 20_000, MaxInstrs: 80_000, Scale: &scale})
-	if err != nil {
-		b.Fatal(err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Mini()
+		mutate(&cfg)
+		br, err := Run("leela_17", RunConfig{BR: &cfg, Warmup: 20_000, MaxInstrs: 80_000, Scale: &scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp := 0.0
+		if base.MPKI != 0 {
+			imp = 100 * (base.MPKI - br.MPKI) / base.MPKI
+		}
+		b.ReportMetric(imp, "mpki_improvement_pct")
 	}
-	if base.MPKI == 0 {
-		return 0
-	}
-	return 100 * (base.MPKI - br.MPKI) / base.MPKI
 }
 
 // BenchmarkAblationInOrderDCE evaluates in-order chain scheduling (the
 // paper found it exposes too little MLP).
 func BenchmarkAblationInOrderDCE(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.InOrderChainExec = true }), "mpki_improvement_pct")
-	}
+	benchAblation(b, func(c *BRConfig) { c.InOrderChainExec = true })
 }
 
 // BenchmarkAblationNoAffectorGuard disables affector/guard termination;
 // chains then alternate between path variants and diverge sooner.
 func BenchmarkAblationNoAffectorGuard(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.UseAffectorGuard = false }), "mpki_improvement_pct")
-	}
+	benchAblation(b, func(c *BRConfig) { c.UseAffectorGuard = false })
 }
 
 // BenchmarkAblationNoMoveElim disables move and store-load-pair
 // elimination, lengthening chains.
 func BenchmarkAblationNoMoveElim(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.MoveElim = false }), "mpki_improvement_pct")
-	}
+	benchAblation(b, func(c *BRConfig) { c.MoveElim = false })
 }
 
 // BenchmarkAblationNoThrottle disables the 2-bit throttle counters that
 // protect against persistent divergence.
 func BenchmarkAblationNoThrottle(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		b.ReportMetric(ablationMPKI(b, func(c *BRConfig) { c.Throttle = false }), "mpki_improvement_pct")
-	}
+	benchAblation(b, func(c *BRConfig) { c.Throttle = false })
 }
 
 // BenchmarkAblationMergePoint compares the wrong-path-buffer merge point
@@ -287,6 +289,34 @@ func BenchmarkRunaheadSimSpeed(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.IPC, "sim_ipc")
+	}
+}
+
+// BenchmarkSuiteParallelSpeedup measures figure-suite throughput — executed
+// simulations per wall second regenerating Figure 10 — across worker
+// counts. The experiments tests assert the rendered output is byte-identical
+// at every -j; this benchmark shows what the parallelism buys. The speedup
+// at j>1 naturally tops out at the host's core count.
+func BenchmarkSuiteParallelSpeedup(b *testing.B) {
+	jobsSet := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		jobsSet = append(jobsSet, n)
+	}
+	for _, jobs := range jobsSet {
+		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
+			runs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := benchOptions()
+				o.Jobs = jobs
+				s := NewExperiments(o)
+				if _, err := s.Figure10(); err != nil {
+					b.Fatal(err)
+				}
+				runs += s.RunsExecuted()
+			}
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
+		})
 	}
 }
 

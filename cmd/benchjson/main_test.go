@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkBaselineSimSpeed-8        	       5	 230000000 ns/op	         1.23 sim_ipc
+BenchmarkSuiteParallelSpeedup/j4-8 	       2	 900000000 ns/op	        13.50 runs/sec
+PASS
+ok  	repro	12.345s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkBaselineSimSpeed-8" || b.Iterations != 5 ||
+		b.NsPerOp != 230000000 || b.Metrics["sim_ipc"] != 1.23 {
+		t.Fatalf("benchmark 0 = %+v", b)
+	}
+	b = rep.Benchmarks[1]
+	if b.Name != "BenchmarkSuiteParallelSpeedup/j4-8" || b.Metrics["runs/sec"] != 13.5 {
+		t.Fatalf("benchmark 1 = %+v", b)
+	}
+}
+
+func TestParseBenchMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 5 12 ns/op trailing",
+		"BenchmarkX five 12 ns/op",
+	} {
+		if _, err := parseBench(line); err == nil {
+			t.Errorf("parseBench(%q) accepted malformed input", line)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //	brexp -figure 10              # just Figure 10
 //	brexp -quick                  # reduced workloads/budgets (smoke test)
 //	brexp -instrs 2000000         # longer runs
+//	brexp -j 8                    # run up to 8 simulations concurrently
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "print per-run progress")
 		asJSON      = flag.Bool("json", false, "emit tables as JSON instead of text")
 		sweepInstrs = flag.Uint64("sweepinstrs", 0, "override Figure 13 sweep budget per run")
+		jobs        = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 	if *sweepInstrs > 0 {
 		opts.SweepInstrs = *sweepInstrs
 	}
+	opts.Jobs = *jobs
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,8 +13,12 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	opts := br.QuickExperimentOptions()
 	opts.SweepWorkloads = []string{"mcf_17", "leela_17", "bfs"}
+	opts.Jobs = *jobs
 	opts.Progress = func(line string) { fmt.Println("  " + line) }
 	s := br.NewExperiments(opts)
 

@@ -13,6 +13,9 @@
 //     weighted results.
 //   - float-compare: no ==/!= on floating-point operands in the metric
 //     packages.
+//   - goroutine-safety: no go statements or sync primitives on the
+//     simulation path; concurrency is confined to the experiment runner so
+//     every sim.Run stays single-threaded and bit-reproducible.
 //
 // Vetted findings are suppressed in place with a directive comment:
 //
@@ -79,6 +82,7 @@ func Analyzers() []*Analyzer {
 		ConfigValidate(),
 		ResultAgg(),
 		FloatCompare(),
+		GoroutineSafety(),
 	}
 }
 

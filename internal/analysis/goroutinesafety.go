@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+)
+
+// RuleGoroutineSafety is the goroutine-safety rule name (for allow
+// directives).
+const RuleGoroutineSafety = "goroutine-safety"
+
+// GoroutineSafety forbids concurrency in the simulation packages. The
+// parallel experiment runner (internal/experiments/runner.go) relies on
+// each sim.Run owning its whole object graph: a run started on any worker
+// must produce bit-identical results to a serial run. That holds only if
+// the simulation path itself is single-threaded, so `go` statements and the
+// sync / sync/atomic packages are allowed solely in internal/experiments —
+// the one place that schedules runs — and flagged everywhere on the
+// simulation path (see DESIGN.md §8).
+func GoroutineSafety() *Analyzer {
+	return &Analyzer{
+		Name: RuleGoroutineSafety,
+		Doc:  "forbid go statements and sync primitives outside internal/experiments",
+		Run:  runGoroutineSafety,
+	}
+}
+
+func runGoroutineSafety(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !OnSimPath(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "sync" || path == "sync/atomic" {
+					diags = append(diags, Diagnostic{
+						Pos:  prog.Position(imp.Pos()),
+						Rule: RuleGoroutineSafety,
+						Message: fmt.Sprintf("import of %q on the simulation path; "+
+							"simulation packages must stay single-threaded — concurrency belongs to the experiments runner", path),
+					})
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					diags = append(diags, Diagnostic{
+						Pos:  prog.Position(g.Pos()),
+						Rule: RuleGoroutineSafety,
+						Message: "go statement on the simulation path breaks per-run determinism; " +
+							"parallelism belongs to the experiments runner",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

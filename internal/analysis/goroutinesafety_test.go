@@ -1,0 +1,88 @@
+package analysis
+
+import "testing"
+
+func TestGoroutineSafety(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string // substrings that must each match one diagnostic
+	}{
+		{
+			name: "go statement flagged on sim path",
+			path: "repro/internal/core",
+			src: `package core
+func f() {
+	go func() {}()
+}`,
+			want: []string{"fix.go:3: goroutine-safety: go statement on the simulation path"},
+		},
+		{
+			name: "sync import flagged on sim path",
+			path: "repro/internal/runahead",
+			src: `package runahead
+import "sync"
+var mu sync.Mutex`,
+			want: []string{`fix.go:2: goroutine-safety: import of "sync" on the simulation path`},
+		},
+		{
+			name: "sync/atomic import flagged on sim path",
+			path: "repro/internal/dram",
+			src: `package dram
+import "sync/atomic"
+var n atomic.Uint64`,
+			want: []string{`fix.go:2: goroutine-safety: import of "sync/atomic" on the simulation path`},
+		},
+		{
+			name: "go statement and sync allowed in experiments",
+			path: "repro/internal/experiments",
+			src: `package experiments
+import "sync"
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go wg.Done()
+	wg.Wait()
+}`,
+		},
+		{
+			name: "go statement off the sim path is fine",
+			path: "repro/internal/workloads",
+			src: `package workloads
+func f() {
+	go func() {}()
+}`,
+		},
+		{
+			name: "trailing allow directive suppresses",
+			path: "repro/internal/sim",
+			src: `package sim
+func f() {
+	go func() {}() //brlint:allow goroutine-safety
+}`,
+		},
+		{
+			name: "both import and go statement reported",
+			path: "repro/internal/cache",
+			src: `package cache
+import "sync"
+var mu sync.Mutex
+func f() {
+	go func() {}()
+}`,
+			want: []string{
+				`fix.go:2: goroutine-safety: import of "sync"`,
+				"fix.go:5: goroutine-safety: go statement",
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := loadFixture(t, fixturePkg{path: tc.path, files: map[string]string{"fix.go": tc.src}})
+			got := diagStrings(prog, []*Analyzer{GoroutineSafety()})
+			assertDiags(t, got, tc.want)
+		})
+	}
+}

@@ -69,6 +69,28 @@ type Cache struct {
 
 	// Counters: hits, misses, evictions, writebacks, pendingHits.
 	C *stats.Counters
+	// Ctr holds dense handles into C for the per-access events; see
+	// stats.Counter.
+	Ctr CacheCounters
+}
+
+// CacheCounters are pre-registered handles for the access-path events.
+type CacheCounters struct {
+	Hits, Misses, PendingHits            stats.Counter
+	Writebacks, Evictions, PrefetchFills stats.Counter
+	MSHRFull                             stats.Counter
+}
+
+func newCacheCounters(c *stats.Counters) CacheCounters {
+	return CacheCounters{
+		Hits:          c.Handle("hits"),
+		Misses:        c.Handle("misses"),
+		PendingHits:   c.Handle("pending_hits"),
+		Writebacks:    c.Handle("writebacks"),
+		Evictions:     c.Handle("evictions"),
+		PrefetchFills: c.Handle("prefetch_fills"),
+		MSHRFull:      c.Handle("mshr_full"),
+	}
 }
 
 // Validate checks the cache geometry: the indexing math assumes a
@@ -116,6 +138,7 @@ func New(cfg Config, next MemLevel) *Cache {
 		next:    next,
 		C:       stats.NewCounters(),
 	}
+	c.Ctr = newCacheCounters(c.C)
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
 	}
@@ -189,7 +212,7 @@ func (c *Cache) mshrAdmit(now, done uint64) uint64 {
 		if earliest > start {
 			start = earliest
 		}
-		c.C.Inc("mshr_full")
+		c.Ctr.MSHRFull.Inc()
 	}
 	c.outstanding = append(c.outstanding, done)
 	return start
@@ -229,16 +252,16 @@ func (c *Cache) access(now uint64, addr uint64, write bool, usePort bool) uint64
 			done := start + c.cfg.HitLatency
 			if l.ready > done {
 				// Pending hit: merge with the outstanding fill.
-				c.C.Inc("pending_hits")
+				c.Ctr.PendingHits.Inc()
 				return l.ready
 			}
-			c.C.Inc("hits")
+			c.Ctr.Hits.Inc()
 			return done
 		}
 	}
 
 	// Miss: fetch the line from the next level.
-	c.C.Inc("misses")
+	c.Ctr.Misses.Inc()
 	missDone := c.next.Access(start+c.cfg.HitLatency, addr, false)
 	issueAt := c.mshrAdmit(start, missDone)
 	if issueAt > start {
@@ -259,10 +282,10 @@ func (c *Cache) access(now uint64, addr uint64, write bool, usePort bool) uint64
 	}
 	v := &set[victim]
 	if v.valid && v.dirty {
-		c.C.Inc("writebacks")
+		c.Ctr.Writebacks.Inc()
 		c.next.Access(missDone, addrFromTag(v.tag, c.lineOff), true)
 	} else if v.valid {
-		c.C.Inc("evictions")
+		c.Ctr.Evictions.Inc()
 	}
 	*v = line{tag: tag, valid: true, dirty: write, ready: missDone, lru: c.lruClock}
 
@@ -307,11 +330,11 @@ func (c *Cache) Install(now uint64, addr uint64, ready uint64) {
 	}
 	v := &set[victim]
 	if v.valid && v.dirty {
-		c.C.Inc("writebacks")
+		c.Ctr.Writebacks.Inc()
 		c.next.Access(now, addrFromTag(v.tag, c.lineOff), true)
 	}
 	*v = line{tag: tag, valid: true, ready: ready, lru: c.lruClock}
-	c.C.Inc("prefetch_fills")
+	c.Ctr.PrefetchFills.Inc()
 }
 
 // addrFromTag reconstructs a byte address from a stored tag. Tags keep the
@@ -331,6 +354,8 @@ type StreamPrefetcher struct {
 	lineOff  uint
 	clock    uint64
 	C        *stats.Counters
+	// prefetches is the dense handle for the per-issue counter.
+	prefetches stats.Counter
 }
 
 type stream struct {
@@ -348,7 +373,7 @@ func NewStreamPrefetcher(nStreams, distance int, lineBytes int, below MemLevel) 
 	for 1<<lineOff < lineBytes {
 		lineOff++
 	}
-	return &StreamPrefetcher{
+	p := &StreamPrefetcher{
 		streams:  make([]stream, nStreams),
 		distance: distance,
 		degree:   2,
@@ -356,6 +381,8 @@ func NewStreamPrefetcher(nStreams, distance int, lineBytes int, below MemLevel) 
 		lineOff:  lineOff,
 		C:        stats.NewCounters(),
 	}
+	p.prefetches = p.C.Handle("prefetches")
+	return p
 }
 
 // Train observes a demand miss and issues prefetches when a stream is
@@ -415,6 +442,6 @@ func (p *StreamPrefetcher) Train(now uint64, addr uint64) {
 		}
 		done := p.below.Access(now, ta, false)
 		p.fill.Install(now, ta, done)
-		p.C.Inc("prefetches")
+		p.prefetches.Inc()
 	}
 }

@@ -20,6 +20,8 @@ type TLB struct {
 	clock    uint64
 
 	C *stats.Counters
+	// Dense handles for the per-translate events.
+	hits, misses, pendingHits stats.Counter
 }
 
 type tlbEntry struct {
@@ -72,6 +74,9 @@ func NewTLB(cfg TLBConfig, next MemLevel) *TLB {
 		next:     next,
 		C:        stats.NewCounters(),
 	}
+	t.hits = t.C.Handle("hits")
+	t.misses = t.C.Handle("misses")
+	t.pendingHits = t.C.Handle("pending_hits")
 	for i := range t.sets {
 		t.sets[i] = make([]tlbEntry, cfg.Ways)
 	}
@@ -89,14 +94,14 @@ func (t *TLB) Translate(now uint64, addr uint64) uint64 {
 		if e.valid && e.vpn == vpn {
 			e.lru = t.clock
 			if e.ready > now {
-				t.C.Inc("pending_hits")
+				t.pendingHits.Inc()
 				return e.ready
 			}
-			t.C.Inc("hits")
+			t.hits.Inc()
 			return now
 		}
 	}
-	t.C.Inc("misses")
+	t.misses.Inc()
 	// Page walk: one memory access for the leaf PTE plus fixed walk logic.
 	done := now + t.walkLat
 	if t.next != nil {

@@ -56,9 +56,41 @@ type Core struct {
 
 	// Stats.
 	C        *stats.Counters
+	Ctr      CoreCounters
 	Branches map[uint64]*BranchStat
 
 	issueBuf []*DynUop // scratch, reused each cycle
+}
+
+// CoreCounters holds dense handles into C for every per-cycle event, so the
+// simulate loop increments by slice index instead of hashing a string each
+// event (the string API on C remains for reporting).
+type CoreCounters struct {
+	Cycles, Retired, RetiredCondBranches, Mispredicts stats.Counter
+	DCEPredictionsUsed, Recoveries, Flushes           stats.Counter
+	Issued, IssuedLoads, StoreForwards                stats.Counter
+	DispatchStallBackend, DispatchStallLSQ            stats.Counter
+	FetchStallICache, Fetched, FetchedWrongPath       stats.Counter
+}
+
+func newCoreCounters(c *stats.Counters) CoreCounters {
+	return CoreCounters{
+		Cycles:               c.Handle("cycles"),
+		Retired:              c.Handle("retired"),
+		RetiredCondBranches:  c.Handle("retired_cond_branches"),
+		Mispredicts:          c.Handle("mispredicts"),
+		DCEPredictionsUsed:   c.Handle("dce_predictions_used"),
+		Recoveries:           c.Handle("recoveries"),
+		Flushes:              c.Handle("flushes"),
+		Issued:               c.Handle("issued"),
+		IssuedLoads:          c.Handle("issued_loads"),
+		StoreForwards:        c.Handle("store_forwards"),
+		DispatchStallBackend: c.Handle("dispatch_stall_backend"),
+		DispatchStallLSQ:     c.Handle("dispatch_stall_lsq"),
+		FetchStallICache:     c.Handle("fetch_stall_icache"),
+		Fetched:              c.Handle("fetched"),
+		FetchedWrongPath:     c.Handle("fetched_wrong_path"),
+	}
 }
 
 // New wires a core over a program, a committed memory image, a branch
@@ -82,6 +114,7 @@ func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext
 		C:        stats.NewCounters(),
 		Branches: make(map[uint64]*BranchStat),
 	}
+	c.Ctr = newCoreCounters(c.C)
 	c.curFetchLine = ^uint64(0)
 	return c
 }
@@ -101,14 +134,14 @@ func (c *Core) Now() uint64 { return c.now }
 // or a safety cycle bound trips. It returns the retired count.
 func (c *Core) Run(maxRetired uint64) (uint64, error) {
 	cycleCap := c.now + maxRetired*200 + 1_000_000
-	for c.C.Get("retired") < maxRetired && !c.haltRetired {
+	for c.Ctr.Retired.Get() < maxRetired && !c.haltRetired {
 		if c.now > cycleCap {
-			return c.C.Get("retired"), fmt.Errorf("core: cycle cap exceeded (deadlock?) at cycle %d, retired %d",
-				c.now, c.C.Get("retired"))
+			return c.Ctr.Retired.Get(), fmt.Errorf("core: cycle cap exceeded (deadlock?) at cycle %d, retired %d",
+				c.now, c.Ctr.Retired.Get())
 		}
 		c.Cycle()
 	}
-	return c.C.Get("retired"), nil
+	return c.Ctr.Retired.Get(), nil
 }
 
 // Cycle advances the machine one clock.
@@ -125,7 +158,7 @@ func (c *Core) Cycle() {
 		})
 	}
 	c.now++
-	c.C.Inc("cycles")
+	c.Ctr.Cycles.Inc()
 }
 
 // ---------------------------------------------------------------- retire --
@@ -139,7 +172,7 @@ func (c *Core) retire() {
 		c.rob = c.rob[1:]
 		d.State = StRetired
 		c.trace("retire", d)
-		c.C.Inc("retired")
+		c.Ctr.Retired.Inc()
 		if d.U.Op.IsMem() {
 			c.lsqCount--
 		}
@@ -162,7 +195,7 @@ func (c *Core) retire() {
 }
 
 func (c *Core) retireBranch(d *DynUop) {
-	c.C.Inc("retired_cond_branches")
+	c.Ctr.RetiredCondBranches.Inc()
 	bs := c.Branches[d.U.PC]
 	if bs == nil {
 		bs = &BranchStat{PC: d.U.PC}
@@ -173,12 +206,12 @@ func (c *Core) retireBranch(d *DynUop) {
 		bs.Taken++
 	}
 	if d.PredTaken != d.Res.Taken {
-		c.C.Inc("mispredicts")
+		c.Ctr.Mispredicts.Inc()
 		bs.Mispred++
 	}
 	if d.UsedDCE {
 		bs.DCEUsed++
-		c.C.Inc("dce_predictions_used")
+		c.Ctr.DCEPredictionsUsed.Inc()
 		if d.PredTaken == d.Res.Taken {
 			bs.DCECorrect++
 		}
@@ -232,7 +265,7 @@ func (c *Core) resolveBranch(d *DynUop) {
 		if !d.WrongPath {
 			regs := c.fe.regs
 			correctRegs = &regs
-			c.C.Inc("recoveries")
+			c.Ctr.Recoveries.Inc()
 		}
 	}
 	if c.ext != nil {
@@ -307,7 +340,7 @@ func (c *Core) recoverAt(d *DynUop) {
 	}
 	c.fetchStallUntil = c.now + c.cfg.RedirectPenalty
 	c.curFetchLine = ^uint64(0)
-	c.C.Inc("flushes")
+	c.Ctr.Flushes.Inc()
 }
 
 // ----------------------------------------------------------------- issue --
@@ -389,14 +422,14 @@ func (c *Core) uopReady(d *DynUop) bool {
 func (c *Core) execute(d *DynUop) {
 	d.State = StIssued
 	c.trace("issue", d)
-	c.C.Inc("issued")
+	c.Ctr.Issued.Inc()
 	switch {
 	case d.IsLoad():
-		c.C.Inc("issued_loads")
+		c.Ctr.IssuedLoads.Inc()
 		if d.storeDep != nil {
 			// Store-to-load forwarding from the in-flight producer.
 			d.DoneAt = c.now + 1
-			c.C.Inc("store_forwards")
+			c.Ctr.StoreForwards.Inc()
 		} else {
 			start := c.now
 			if c.hier.DTLB != nil {
@@ -422,11 +455,11 @@ func (c *Core) dispatch() {
 			return
 		}
 		if len(c.rob) >= c.cfg.ROBSize || len(c.rs) >= c.cfg.RSSize {
-			c.C.Inc("dispatch_stall_backend")
+			c.Ctr.DispatchStallBackend.Inc()
 			return
 		}
 		if d.U.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
-			c.C.Inc("dispatch_stall_lsq")
+			c.Ctr.DispatchStallLSQ.Inc()
 			return
 		}
 		c.fetchQ = c.fetchQ[1:]
@@ -476,7 +509,7 @@ func (c *Core) fetch() {
 			c.hier.ICache.AccessSecondary(c.now, (line+1)*lineBytes)
 		}
 		if c.lineReadyAt > c.now {
-			c.C.Inc("fetch_stall_icache")
+			c.Ctr.FetchStallICache.Inc()
 			return
 		}
 
@@ -496,9 +529,9 @@ func (c *Core) fetch() {
 		d.ReadyAt = c.now + c.cfg.FrontendDepth
 		c.fetchQ = append(c.fetchQ, d)
 		c.trace("fetch", d)
-		c.C.Inc("fetched")
+		c.Ctr.Fetched.Inc()
 		if d.WrongPath {
-			c.C.Inc("fetched_wrong_path")
+			c.Ctr.FetchedWrongPath.Inc()
 		}
 		if d.U.Op == isa.OpHalt && !d.WrongPath {
 			return

@@ -68,6 +68,16 @@ type DRAM struct {
 	cfg Config
 	chs []channel
 	C   *stats.Counters
+	// Ctr holds dense handles into C for the per-request events.
+	Ctr DRAMCounters
+}
+
+// DRAMCounters are pre-registered handles for the access-path events.
+type DRAMCounters struct {
+	Reads, Writes                    stats.Counter
+	RowHits, RowMisses, RowConflicts stats.Counter
+	BankConflicts, BusConflicts      stats.Counter
+	QueueFull                        stats.Counter
 }
 
 // Validate checks the memory geometry and timings: the address mapping
@@ -98,6 +108,16 @@ func New(cfg Config) *DRAM {
 		panic("dram: " + err.Error())
 	}
 	d := &DRAM{cfg: cfg, C: stats.NewCounters()}
+	d.Ctr = DRAMCounters{
+		Reads:         d.C.Handle("reads"),
+		Writes:        d.C.Handle("writes"),
+		RowHits:       d.C.Handle("row_hits"),
+		RowMisses:     d.C.Handle("row_misses"),
+		RowConflicts:  d.C.Handle("row_conflicts"),
+		BankConflicts: d.C.Handle("bank_conflicts"),
+		BusConflicts:  d.C.Handle("bus_conflicts"),
+		QueueFull:     d.C.Handle("queue_full"),
+	}
 	d.chs = make([]channel, cfg.Channels)
 	for i := range d.chs {
 		d.chs[i].banks = make([]bank, cfg.BanksPerCh)
@@ -136,7 +156,7 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 			if earliest > start {
 				start = earliest
 			}
-			d.C.Inc("queue_full")
+			d.Ctr.QueueFull.Inc()
 		}
 	}
 
@@ -150,17 +170,17 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 
 	if b.freeAt > start {
 		start = b.freeAt
-		d.C.Inc("bank_conflicts")
+		d.Ctr.BankConflicts.Inc()
 	}
 
 	var lat uint64
 	switch {
 	case b.openRow == row:
 		lat = d.cfg.TCAS
-		d.C.Inc("row_hits")
+		d.Ctr.RowHits.Inc()
 	case b.openRow < 0:
 		lat = d.cfg.TRCD + d.cfg.TCAS
-		d.C.Inc("row_misses")
+		d.Ctr.RowMisses.Inc()
 		// Respect the activate-to-activate window.
 		if b.lastActAt+d.cfg.RowCycle > start {
 			start = b.lastActAt + d.cfg.RowCycle
@@ -168,7 +188,7 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 		b.lastActAt = start
 	default:
 		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
-		d.C.Inc("row_conflicts")
+		d.Ctr.RowConflicts.Inc()
 		if b.lastActAt+d.cfg.RowCycle > start {
 			start = b.lastActAt + d.cfg.RowCycle
 		}
@@ -180,7 +200,7 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 	// Reserve the shared data bus for the burst.
 	if ch.busAt > done {
 		done = ch.busAt
-		d.C.Inc("bus_conflicts")
+		d.Ctr.BusConflicts.Inc()
 	}
 	ch.busAt = done + d.cfg.TBus
 	done += d.cfg.TBus
@@ -190,11 +210,11 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 		ch.queue = append(ch.queue, done)
 	}
 	if write {
-		d.C.Inc("writes")
+		d.Ctr.Writes.Inc()
 		// Write data is buffered; the caller need not wait for the array
 		// write, only for queue admission.
 		return start
 	}
-	d.C.Inc("reads")
+	d.Ctr.Reads.Inc()
 	return done
 }

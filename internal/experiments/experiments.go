@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -32,8 +33,16 @@ type Options struct {
 	Workloads []string
 	// SweepWorkloads restricts the Figure 13 sweep set.
 	SweepWorkloads []string
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed run. Within a
+	// figure, lines are flushed in sorted run-key order once the figure's
+	// whole batch has completed, so the stream is reproducible for any Jobs
+	// value. The callback itself is always invoked from a single goroutine.
 	Progress func(string)
+	// Jobs bounds how many simulations run concurrently; <= 0 selects
+	// GOMAXPROCS. Results are byte-identical for every value: each run owns
+	// its whole simulator object graph, and tables and Progress lines are
+	// assembled from sorted keys after the batch completes.
+	Jobs int
 }
 
 // DefaultOptions returns a configuration that regenerates every figure in
@@ -61,16 +70,35 @@ func QuickOptions() Options {
 }
 
 // Suite runs simulations on demand and caches them, so the baseline run of
-// a benchmark is shared across figures.
+// a benchmark is shared across figures. Runs execute on a bounded worker
+// pool (Options.Jobs) with singleflight deduplication, and every FigureN
+// first submits its full run set as one batch before assembling the table
+// from completed results — see runner.go.
 type Suite struct {
-	opts  Options
-	cache map[string]*sim.Result
+	opts   Options
+	runner *runner
+
+	// progressMu guards the Progress batching state: while a batch is open,
+	// completed runs buffer their lines keyed by run key and endBatch
+	// flushes them sorted.
+	progressMu sync.Mutex
+	batchDepth int
+	pending    map[string]string
 }
 
 // NewSuite returns an empty suite.
 func NewSuite(opts Options) *Suite {
-	return &Suite{opts: opts, cache: make(map[string]*sim.Result)}
+	return &Suite{
+		opts:    opts,
+		runner:  newRunner(opts.Jobs),
+		pending: make(map[string]string),
+	}
 }
+
+// RunsExecuted returns how many simulations the suite has actually executed
+// (cache hits and deduplicated concurrent requests excluded). The
+// parallel-speedup benchmark divides it by wall time.
+func (s *Suite) RunsExecuted() int { return s.runner.Executed() }
 
 func (s *Suite) names() []string {
 	if len(s.opts.Workloads) > 0 {
@@ -108,32 +136,30 @@ func vMTageBR(cfg runahead.Config) variant {
 }
 
 // run returns the (cached) result for workload wl under variant v, with the
-// given instruction budget.
+// given instruction budget. Safe for concurrent callers: the runner
+// executes each key at most once and blocks duplicates until the owning
+// execution completes.
 func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
 	key := fmt.Sprintf("%s/%s/%d", wl, v.key, instrs)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
-	}
-	w, err := workloads.ByName(wl, s.opts.Scale)
-	if err != nil {
-		return nil, err
-	}
-	cfg := sim.Config{
-		Core:      core.DefaultConfig(),
-		Predictor: v.pred,
-		BR:        v.br,
-		Warmup:    s.opts.Warmup,
-		MaxInstrs: instrs,
-	}
-	res, err := sim.Run(w, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s under %s: %w", wl, v.key, err)
-	}
-	s.cache[key] = res
-	if s.opts.Progress != nil {
-		s.opts.Progress(fmt.Sprintf("%-13s %-12s IPC=%.3f MPKI=%.2f", wl, v.key, res.IPC, res.MPKI))
-	}
-	return res, nil
+	return s.runner.do(key, func() (*sim.Result, error) {
+		w, err := workloads.ByName(wl, s.opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.Config{
+			Core:      core.DefaultConfig(),
+			Predictor: v.pred,
+			BR:        v.br,
+			Warmup:    s.opts.Warmup,
+			MaxInstrs: instrs,
+		}
+		res, err := sim.Run(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s under %s: %w", wl, v.key, err)
+		}
+		s.progress(key, fmt.Sprintf("%-13s %-12s IPC=%.3f MPKI=%.2f", wl, v.key, res.IPC, res.MPKI))
+		return res, nil
+	})
 }
 
 // mpkiImprovement is the paper's metric: (base - br) / base * 100.
@@ -197,6 +223,10 @@ func mispRateOn(res *sim.Result, pcs []uint64) float64 {
 func (s *Suite) Figure1() (*stats.Table, error) {
 	t := stats.NewTable("Figure 1: misprediction rate (%) of hardest branches",
 		"benchmark", "tage-sc-l-64kb", "mtage-sc", "dependence-chains")
+	vs := []variant{vTage64(), vMTage(), vBR("big", runahead.Big())}
+	if err := s.prefetch(cross(s.names(), vs, s.opts.Instrs)); err != nil {
+		return nil, err
+	}
 	var a, b, c []float64
 	for _, wl := range s.names() {
 		base, err := s.run(wl, vTage64(), s.opts.Instrs)
@@ -225,6 +255,9 @@ func (s *Suite) Figure1() (*stats.Table, error) {
 func (s *Suite) Figure2() (*stats.Table, error) {
 	t := stats.NewTable("Figure 2: average dependence chain length (micro-ops)",
 		"benchmark", "avg-chain-uops")
+	if err := s.prefetch(cross(s.names(), []variant{vBR("mini", runahead.Mini())}, s.opts.Instrs)); err != nil {
+		return nil, err
+	}
 	var lens []float64
 	for _, wl := range s.names() {
 		br, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.Instrs)
@@ -243,6 +276,10 @@ func (s *Suite) Figure2() (*stats.Table, error) {
 func (s *Suite) Figure3() (*stats.Table, error) {
 	t := stats.NewTable("Figure 3: micro-ops issued increase due to Branch Runahead (%)",
 		"benchmark", "uops-increase", "load-uops-increase")
+	vs := []variant{vTage64(), vBR("mini", runahead.Mini())}
+	if err := s.prefetch(cross(s.names(), vs, s.opts.Instrs)); err != nil {
+		return nil, err
+	}
 	var us, ls []float64
 	for _, wl := range s.names() {
 		base, err := s.run(wl, vTage64(), s.opts.Instrs)
@@ -267,6 +304,9 @@ func (s *Suite) Figure3() (*stats.Table, error) {
 func (s *Suite) Figure5() (*stats.Table, error) {
 	t := stats.NewTable("Figure 5: dependence chains with affector/guard triggers (%)",
 		"benchmark", "ag-chains-pct")
+	if err := s.prefetch(cross(s.names(), []variant{vBR("mini", runahead.Mini())}, s.opts.Instrs)); err != nil {
+		return nil, err
+	}
 	var fs []float64
 	for _, wl := range s.names() {
 		br, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.Instrs)
@@ -295,6 +335,9 @@ func (s *Suite) Figure10() (*stats.Table, error) {
 		vBR("core-only", runahead.CoreOnly()),
 		vBR("mini", runahead.Mini()),
 		vBR("big", runahead.Big()),
+	}
+	if err := s.prefetch(cross(s.names(), append([]variant{vTage64()}, vs...), s.opts.Instrs)); err != nil {
+		return nil, err
 	}
 	sums := make([][]float64, 8)
 	var ipcRatios [4][]float64
@@ -333,6 +376,9 @@ func (s *Suite) Figure11Top() (*stats.Table, error) {
 	t := stats.NewTable("Figure 11 (top): MPKI improvement over 64KB TAGE-SC-L (%)",
 		"benchmark", "mtage", "big-br", "mtage+big-br")
 	vs := []variant{vMTage(), vBR("big", runahead.Big()), vMTageBR(runahead.Big())}
+	if err := s.prefetch(cross(s.names(), append([]variant{vTage64()}, vs...), s.opts.Instrs)); err != nil {
+		return nil, err
+	}
 	sums := make([][]float64, len(vs))
 	for _, wl := range s.names() {
 		base, err := s.run(wl, vTage64(), s.opts.Instrs)
@@ -374,6 +420,9 @@ func (s *Suite) Figure11Bottom() (*stats.Table, error) {
 		mk(runahead.IndependentEarly, "mini-indep"),
 		mk(runahead.Predictive, "mini"),
 	}
+	if err := s.prefetch(cross(s.names(), append([]variant{vTage64()}, vs...), s.opts.Instrs)); err != nil {
+		return nil, err
+	}
 	sums := make([][]float64, len(vs))
 	for _, wl := range s.names() {
 		base, err := s.run(wl, vTage64(), s.opts.Instrs)
@@ -405,6 +454,9 @@ func (s *Suite) Figure12() (*stats.Table, error) {
 	t := stats.NewTable("Figure 12: prediction breakdown for targeted branches (%)",
 		"benchmark", "inactive", "late", "throttled", "incorrect", "correct")
 	keys := []string{"inactive", "late", "throttled", "incorrect", "correct"}
+	if err := s.prefetch(cross(s.names(), []variant{vBR("mini", runahead.Mini())}, s.opts.Instrs)); err != nil {
+		return nil, err
+	}
 	sums := make([][]float64, len(keys))
 	for _, wl := range s.names() {
 		br, err := s.run(wl, vBR("mini", runahead.Mini()), s.opts.Instrs)
@@ -466,6 +518,21 @@ func (s *Suite) Figure13() (*stats.Table, []SweepPoint, error) {
 		"parameter", "value", "mpki-improvement-vs-mini")
 	var points []SweepPoint
 
+	// Enumerate the whole sweep (mini reference plus every axis point) and
+	// submit it as one batch.
+	specs := cross(s.sweepNames(), []variant{vBR("mini", runahead.Mini())}, s.opts.SweepInstrs)
+	for _, ax := range axes {
+		for _, v := range ax.values {
+			cfg := runahead.Mini()
+			ax.apply(&cfg, v)
+			specs = append(specs,
+				cross(s.sweepNames(), []variant{vBR(fmt.Sprintf("mini-%s-%d", ax.name, v), cfg)}, s.opts.SweepInstrs)...)
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, nil, err
+	}
+
 	// Mini reference at sweep budget.
 	miniMPKI := make(map[string]float64)
 	for _, wl := range s.sweepNames() {
@@ -508,6 +575,9 @@ func (s *Suite) Figure14() (*stats.Table, error) {
 		vBR("core-only", runahead.CoreOnly()),
 		vBR("mini", runahead.Mini()),
 		vBR("big", runahead.Big()),
+	}
+	if err := s.prefetch(cross(s.names(), append([]variant{vTage64()}, vs...), s.opts.Instrs)); err != nil {
+		return nil, err
 	}
 	sums := make([][]float64, len(vs))
 	for _, wl := range s.names() {

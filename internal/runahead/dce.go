@@ -108,6 +108,17 @@ type DCE struct {
 	spareRS    int
 
 	C *stats.Counters
+	// Dense handles for the engine's per-event counters.
+	ctr dceCounters
+}
+
+// dceCounters are pre-registered handles; uopsIssued and loadsIssued fire
+// once per DCE micro-op, the hottest counters in the engine.
+type dceCounters struct {
+	syncs, syncMiss, divergences         stats.Counter
+	initWindowFull, initQueueFull        stats.Counter
+	instances, predictiveFlushes         stats.Counter
+	completions, uopsIssued, loadsIssued stats.Counter
 }
 
 // NewDCE wires the engine.
@@ -115,7 +126,7 @@ func NewDCE(cfg *Config, dcache *cache.Cache, mem *emu.Memory, cc *ChainCache, p
 	if err := cfg.Validate(); err != nil {
 		panic("runahead: " + err.Error())
 	}
-	return &DCE{
+	e := &DCE{
 		cfg:      cfg,
 		dcache:   dcache,
 		mem:      mem,
@@ -124,6 +135,19 @@ func NewDCE(cfg *Config, dcache *cache.Cache, mem *emu.Memory, cc *ChainCache, p
 		initPred: bpred.NewCounterTable(10),
 		C:        stats.NewCounters(),
 	}
+	e.ctr = dceCounters{
+		syncs:             e.C.Handle("syncs"),
+		syncMiss:          e.C.Handle("sync_miss"),
+		divergences:       e.C.Handle("divergences"),
+		initWindowFull:    e.C.Handle("init_window_full"),
+		initQueueFull:     e.C.Handle("init_queue_full"),
+		instances:         e.C.Handle("instances"),
+		predictiveFlushes: e.C.Handle("predictive_flushes"),
+		completions:       e.C.Handle("completions"),
+		uopsIssued:        e.C.Handle("uops_issued"),
+		loadsIssued:       e.C.Handle("loads_issued"),
+	}
+	return e
 }
 
 // windowFree reports whether another instance fits.
@@ -151,10 +175,10 @@ func (e *DCE) windowFree() bool {
 func (e *DCE) Sync(now uint64, pc uint64, taken bool, regs *emu.RegFile) {
 	matching := e.cc.Lookup(pc, taken)
 	if len(matching) == 0 {
-		e.C.Inc("sync_miss")
+		e.ctr.syncMiss.Inc()
 		return
 	}
-	e.C.Inc("syncs")
+	e.ctr.syncs.Inc()
 
 	// Deactivate stale instances of the affected chain families, including
 	// the mispredicting branch's own.
@@ -224,7 +248,7 @@ func (e *DCE) DeactivateFamily(pc uint64) {
 	if q := e.pqs.For(pc); q != nil {
 		q.active = false
 	}
-	e.C.Inc("divergences")
+	e.ctr.divergences.Inc()
 }
 
 func (e *DCE) kill(in *Instance) {
@@ -241,12 +265,12 @@ func (e *DCE) kill(in *Instance) {
 // window or the prediction queue is full.
 func (e *DCE) initiate(now uint64, ch *Chain, env *[isa.NumRegs]envVal, parent *Instance) *Instance {
 	if !e.windowFree() {
-		e.C.Inc("init_window_full")
+		e.ctr.initWindowFull.Inc()
 		return nil
 	}
 	q := e.pqs.Ensure(ch.BranchPC, now)
 	if q == nil || q.full() {
-		e.C.Inc("init_queue_full")
+		e.ctr.initQueueFull.Inc()
 		return nil
 	}
 	slot := q.alloc
@@ -302,7 +326,7 @@ func (e *DCE) initiate(now uint64, ch *Chain, env *[isa.NumRegs]envVal, parent *
 	e.all = append(e.all, in)
 	e.run = append(e.run, in)
 	e.activeRun++
-	e.C.Inc("instances")
+	e.ctr.instances.Inc()
 	e.onInitiated(now, in)
 	return in
 }
@@ -382,7 +406,7 @@ func (e *DCE) fireCompletionTriggers(now uint64, in *Instance) {
 		// Speculative initiations went down the wrong direction: flush
 		// everything younger and initiate the correct chains (paper §4.1).
 		e.flushYoungerThan(in)
-		e.C.Inc("predictive_flushes")
+		e.ctr.predictiveFlushes.Inc()
 	}
 	for _, ch := range e.cc.Lookup(pc, in.outcome) {
 		// Completion-confirmed initiations carry no new speculation.
@@ -510,7 +534,7 @@ func (e *DCE) completeExecution(now uint64) {
 				in.outcome = in.outcomes[i]
 				in.completed = true
 				e.activeRun--
-				e.C.Inc("completions")
+				e.ctr.completions.Inc()
 				// Push into the prediction queue.
 				if in.q.gen == in.slotGen {
 					s := in.q.slot(in.slotIdx)
@@ -641,7 +665,7 @@ func (e *DCE) executeUop(now uint64, in *Instance, i int, u *ChainUop) {
 	in.issued[i] = true
 	in.inflight = append(in.inflight, i)
 	in.unissued--
-	e.C.Inc("uops_issued")
+	e.ctr.uopsIssued.Inc()
 	src := func(l int) uint64 {
 		if l < 0 {
 			return 0
@@ -664,7 +688,7 @@ func (e *DCE) executeUop(now uint64, in *Instance, i int, u *ChainUop) {
 			start = e.dtlb.Translate(now, addr)
 		}
 		in.doneAt[i] = e.dcache.AccessSecondary(start, addr)
-		e.C.Inc("loads_issued")
+		e.ctr.loadsIssued.Inc()
 	case isa.OpCmp:
 		b := src(u.Src2)
 		if u.UseImm {

@@ -37,6 +37,17 @@ type System struct {
 	chainAGTagged uint64
 
 	C *stats.Counters
+	// Dense handles for the per-branch-event counters.
+	ctr sysCounters
+}
+
+// sysCounters are pre-registered handles for the prediction-accounting and
+// extraction events, incremented on the simulate path by index.
+type sysCounters struct {
+	syncSkippedLate, syncSkippedFilled    stats.Counter
+	predInactive, predLate, predThrottled stats.Counter
+	predCorrect, predIncorrect            stats.Counter
+	extractFailed, chainsInstalled        stats.Counter
 }
 
 // New builds a Branch Runahead system over the given D-cache and committed
@@ -51,6 +62,17 @@ func New(cfg Config, dcache *cache.Cache, mem *emu.Memory) *System {
 		ceb: NewCEB(cfg.CEBEntries),
 		cc:  NewChainCache(cfg.ChainCacheSize),
 		C:   stats.NewCounters(),
+	}
+	s.ctr = sysCounters{
+		syncSkippedLate:   s.C.Handle("sync_skipped_late"),
+		syncSkippedFilled: s.C.Handle("sync_skipped_filled"),
+		predInactive:      s.C.Handle("pred_inactive"),
+		predLate:          s.C.Handle("pred_late"),
+		predThrottled:     s.C.Handle("pred_throttled"),
+		predCorrect:       s.C.Handle("pred_correct"),
+		predIncorrect:     s.C.Handle("pred_incorrect"),
+		extractFailed:     s.C.Handle("extract_failed"),
+		chainsInstalled:   s.C.Handle("chains_installed"),
 	}
 	s.pqs = NewPQSet(&s.cfg)
 	s.dce = NewDCE(&s.cfg, dcache, mem, s.cc, s.pqs)
@@ -172,13 +194,13 @@ func (s *System) BranchResolved(now uint64, d *core.DynUop, correctRegs *emu.Reg
 			if !slot.filled {
 				// The DCE is merely behind; recovery re-aligns fetch with
 				// the queue. Keep running ahead.
-				s.C.Inc("sync_skipped_late")
+				s.ctr.syncSkippedLate.Inc()
 				return
 			}
 			if slot.value == d.Res.Taken {
 				// The DCE had the right answer (consumed late or
 				// throttled); the queue stays aligned. Keep running ahead.
-				s.C.Inc("sync_skipped_filled")
+				s.ctr.syncSkippedFilled.Inc()
 				return
 			}
 			// The DCE's value was wrong too: divergence.
@@ -189,7 +211,7 @@ func (s *System) BranchResolved(now uint64, d *core.DynUop, correctRegs *emu.Reg
 			// bumps the queue generation, which would silence the
 			// retire-time bookkeeping for exactly these events.
 			ref.counted = true
-			s.C.Inc("pred_incorrect")
+			s.ctr.predIncorrect.Inc()
 			if debugIncorrect != nil {
 				debugIncorrect(ref, d.Res.Taken)
 			}
@@ -245,17 +267,17 @@ func (s *System) accountPrediction(ref *slotRef, actual bool, d *core.DynUop) {
 	q := ref.q
 	switch ref.cat {
 	case catInactive:
-		s.C.Inc("pred_inactive")
+		s.ctr.predInactive.Inc()
 		return
 	case catLate:
-		s.C.Inc("pred_late")
+		s.ctr.predLate.Inc()
 	case catThrottled:
-		s.C.Inc("pred_throttled")
+		s.ctr.predThrottled.Inc()
 	case catUsed:
 		if d.PredTaken == actual {
-			s.C.Inc("pred_correct")
+			s.ctr.predCorrect.Inc()
 		} else {
-			s.C.Inc("pred_incorrect")
+			s.ctr.predIncorrect.Inc()
 			if debugIncorrect != nil {
 				debugIncorrect(ref, actual)
 			}
@@ -296,15 +318,15 @@ func (s *System) extract(pc uint64) {
 	}
 	ch, err := ExtractChain(s.ceb, &s.cfg, agSet)
 	if err != nil {
-		s.C.Inc("extract_failed")
+		s.ctr.extractFailed.Inc()
 		return
 	}
 	if ch.BranchPC != pc {
-		s.C.Inc("extract_failed")
+		s.ctr.extractFailed.Inc()
 		return
 	}
 	if s.cc.Install(ch) {
-		s.C.Inc("chains_installed")
+		s.ctr.chainsInstalled.Inc()
 		s.chainCount++
 		s.chainLenSum += uint64(len(ch.Uops))
 		if ch.HasAGTrigger() {
@@ -322,19 +344,22 @@ func (s *System) Tick(now uint64, info core.TickInfo) {
 
 // UopsIssued returns the DCE's total issued micro-ops (Figure 3's numerator
 // contribution).
-func (s *System) UopsIssued() uint64 { return s.dce.C.Get("uops_issued") }
+func (s *System) UopsIssued() uint64 { return s.dce.ctr.uopsIssued.Get() }
 
 // LoadsIssued returns the DCE's total issued loads.
-func (s *System) LoadsIssued() uint64 { return s.dce.C.Get("loads_issued") }
+func (s *System) LoadsIssued() uint64 { return s.dce.ctr.loadsIssued.Get() }
+
+// Syncs returns the DCE's synchronization count.
+func (s *System) Syncs() uint64 { return s.dce.ctr.syncs.Get() }
 
 // PredictionBreakdown returns Figure 12's categories for this run.
 func (s *System) PredictionBreakdown() map[string]uint64 {
 	return map[string]uint64{
-		"inactive":  s.C.Get("pred_inactive"),
-		"late":      s.C.Get("pred_late"),
-		"throttled": s.C.Get("pred_throttled"),
-		"correct":   s.C.Get("pred_correct"),
-		"incorrect": s.C.Get("pred_incorrect"),
+		"inactive":  s.ctr.predInactive.Get(),
+		"late":      s.ctr.predLate.Get(),
+		"throttled": s.ctr.predThrottled.Get(),
+		"correct":   s.ctr.predCorrect.Get(),
+		"incorrect": s.ctr.predIncorrect.Get(),
 	}
 }
 

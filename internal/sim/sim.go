@@ -209,7 +209,7 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	if sys != nil {
 		res.DCEUops = sys.UopsIssued() - snap.dceUops
 		res.DCELoads = sys.LoadsIssued() - snap.dceLoads
-		res.Syncs = sys.DCEStats().Get("syncs") - snap.syncs
+		res.Syncs = sys.Syncs() - snap.syncs
 		res.Chains = sys.C.Get("chains_installed")
 		res.AvgChainLen = sys.AvgChainLen()
 		res.AGFraction = sys.AGChainFraction()
@@ -257,20 +257,21 @@ type snap struct {
 }
 
 func snapshot(c *core.Core, sys *runahead.System, hier core.Hierarchy) snap {
+	// Reads go through the pre-registered dense handles, not the string API.
 	s := snap{
-		cycles:      c.C.Get("cycles"),
-		retired:     c.C.Get("retired"),
-		branches:    c.C.Get("retired_cond_branches"),
-		mispred:     c.C.Get("mispredicts"),
-		issued:      c.C.Get("issued"),
-		issuedLoads: c.C.Get("issued_loads"),
-		flushes:     c.C.Get("flushes"),
-		l2:          hier.L2.C.Get("hits") + hier.L2.C.Get("misses"),
+		cycles:      c.Ctr.Cycles.Get(),
+		retired:     c.Ctr.Retired.Get(),
+		branches:    c.Ctr.RetiredCondBranches.Get(),
+		mispred:     c.Ctr.Mispredicts.Get(),
+		issued:      c.Ctr.Issued.Get(),
+		issuedLoads: c.Ctr.IssuedLoads.Get(),
+		flushes:     c.Ctr.Flushes.Get(),
+		l2:          hier.L2.Ctr.Hits.Get() + hier.L2.Ctr.Misses.Get(),
 		perBranch:   make(map[uint64]BranchResult),
 	}
 	if d, ok := hier.Mem.(*dram.DRAM); ok {
-		s.dramR = d.C.Get("reads")
-		s.dramW = d.C.Get("writes")
+		s.dramR = d.Ctr.Reads.Get()
+		s.dramW = d.Ctr.Writes.Get()
 	}
 	// Keyed map construction is insensitive to iteration order.
 	for pc, bs := range c.Branches { //brlint:allow determinism
@@ -279,7 +280,7 @@ func snapshot(c *core.Core, sys *runahead.System, hier core.Hierarchy) snap {
 	if sys != nil {
 		s.dceUops = sys.UopsIssued()
 		s.dceLoads = sys.LoadsIssued()
-		s.syncs = sys.DCEStats().Get("syncs")
+		s.syncs = sys.Syncs()
 		s.breakdown = sys.PredictionBreakdown()
 	}
 	return s

@@ -10,33 +10,75 @@ import (
 )
 
 // Counters is a named set of monotonically increasing event counts.
+//
+// Values live in a dense []uint64; the name-to-index map is consulted only
+// by the string API. Hot simulation loops pre-register a Counter handle at
+// construction time and increment through it, paying one slice index per
+// event instead of a string hash.
 type Counters struct {
-	m map[string]uint64
+	idx   map[string]int
+	names []string
+	vals  []uint64
 }
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
-	return &Counters{m: make(map[string]uint64)}
+	return &Counters{idx: make(map[string]int)}
 }
 
+// slot returns the dense index for name, registering it on first use.
+func (c *Counters) slot(name string) int {
+	if i, ok := c.idx[name]; ok {
+		return i
+	}
+	i := len(c.vals)
+	c.idx[name] = i
+	c.names = append(c.names, name)
+	c.vals = append(c.vals, 0)
+	return i
+}
+
+// Counter is a pre-registered dense handle to one counter. Handles stay
+// valid as further counters are registered, and all reads through the
+// owning Counters observe increments made through the handle.
+type Counter struct {
+	c *Counters
+	i int
+}
+
+// Handle registers name (idempotently) and returns its dense handle.
+func (c *Counters) Handle(name string) Counter { return Counter{c: c, i: c.slot(name)} }
+
+// Inc increments the counter by one.
+func (h Counter) Inc() { h.c.vals[h.i]++ }
+
+// Add increments the counter by n.
+func (h Counter) Add(n uint64) { h.c.vals[h.i] += n }
+
+// Get returns the counter's value.
+func (h Counter) Get() uint64 { return h.c.vals[h.i] }
+
 // Add increments a counter by n.
-func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
+func (c *Counters) Add(name string, n uint64) { c.vals[c.slot(name)] += n }
 
 // Inc increments a counter by one.
-func (c *Counters) Inc(name string) { c.m[name]++ }
+func (c *Counters) Inc(name string) { c.vals[c.slot(name)]++ }
 
-// Get returns a counter's value (zero when never incremented).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+// Get returns a counter's value (zero when never registered).
+func (c *Counters) Get(name string) uint64 {
+	if i, ok := c.idx[name]; ok {
+		return c.vals[i]
+	}
+	return 0
+}
 
 // Set overwrites a counter's value.
-func (c *Counters) Set(name string, v uint64) { c.m[name] = v }
+func (c *Counters) Set(name string, v uint64) { c.vals[c.slot(name)] = v }
 
-// Names returns the sorted counter names.
+// Names returns the sorted counter names (registered handles included).
 func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for k := range c.m {
-		names = append(names, k)
-	}
+	names := make([]string, len(c.names))
+	copy(names, c.names)
 	sort.Strings(names)
 	return names
 }
@@ -45,7 +87,7 @@ func (c *Counters) Names() []string {
 func (c *Counters) String() string {
 	var b strings.Builder
 	for _, k := range c.Names() {
-		fmt.Fprintf(&b, "%-40s %12d\n", k, c.m[k])
+		fmt.Fprintf(&b, "%-40s %12d\n", k, c.vals[c.idx[k]])
 	}
 	return b.String()
 }

@@ -24,6 +24,47 @@ func TestCountersBasics(t *testing.T) {
 	}
 }
 
+func TestCounterHandles(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle("hits")
+	h.Inc()
+	h.Add(3)
+	if h.Get() != 4 {
+		t.Fatalf("handle Get = %d, want 4", h.Get())
+	}
+	// The string API observes handle increments and vice versa.
+	if c.Get("hits") != 4 {
+		t.Fatalf("Get(hits) = %d, want 4", c.Get("hits"))
+	}
+	c.Inc("hits")
+	if h.Get() != 5 {
+		t.Fatalf("handle misses string-API increment: %d", h.Get())
+	}
+	// Handle registration is idempotent and stable across later growth.
+	h2 := c.Handle("hits")
+	for i := 0; i < 100; i++ {
+		c.Inc("filler" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	h2.Inc()
+	if h.Get() != 6 || c.Get("hits") != 6 {
+		t.Fatalf("handle invalidated by growth: %d", h.Get())
+	}
+	// A registered-but-untouched handle shows up as zero.
+	c.Handle("idle")
+	if c.Get("idle") != 0 {
+		t.Fatal("untouched handle must read zero")
+	}
+	found := false
+	for _, n := range c.Names() {
+		if n == "idle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered handle missing from Names()")
+	}
+}
+
 func TestRates(t *testing.T) {
 	if Rate(1, 0) != 0 || PerKilo(1, 0) != 0 || Pct(1, 0) != 0 {
 		t.Fatal("zero denominators must yield zero")
