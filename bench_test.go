@@ -292,6 +292,26 @@ func BenchmarkRunaheadSimSpeed(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulation is the canonical hot-path benchmark: one Mini
+// Branch Runahead simulation with tracing disabled. It reports allocs/op
+// so the per-fetch checkpoint free-lists are held to account — the
+// steady-state simulation loop must not allocate per conditional-branch
+// fetch (remaining allocations are per-uop DynUop construction and
+// per-run setup).
+func BenchmarkSimulation(b *testing.B) {
+	scale := workloads.SmallScale()
+	cfg := Mini()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run("leela_17", RunConfig{BR: &cfg, Warmup: 20_000, MaxInstrs: 100_000, Scale: &scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "sim_ipc")
+	}
+}
+
 // BenchmarkSuiteParallelSpeedup measures figure-suite throughput — executed
 // simulations per wall second regenerating Figure 10 — across worker
 // counts. The experiments tests assert the rendered output is byte-identical

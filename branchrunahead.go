@@ -27,6 +27,7 @@ import (
 	"repro/internal/runahead"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -90,6 +91,10 @@ type RunConfig struct {
 	MaxInstrs uint64
 	// Scale overrides the workload footprint (default DefaultScale).
 	Scale *Scale
+	// Trace, when non-nil, receives structured events from every simulated
+	// unit (see package repro/internal/trace). Nil disables tracing with
+	// zero overhead.
+	Trace *trace.Tracer
 }
 
 // Workloads returns the 18 benchmark kernel names in the paper's order.
@@ -111,6 +116,7 @@ func Run(workload string, cfg RunConfig) (*Result, error) {
 		BR:        cfg.BR,
 		Warmup:    cfg.Warmup,
 		MaxInstrs: cfg.MaxInstrs,
+		Trace:     cfg.Trace,
 	}
 	if sc.Warmup == 0 {
 		sc.Warmup = 100_000

@@ -8,6 +8,15 @@
 //	brexp -quick                  # reduced workloads/budgets (smoke test)
 //	brexp -instrs 2000000         # longer runs
 //	brexp -j 8                    # run up to 8 simulations concurrently
+//
+// Trace mode runs a single simulation with the structured event tracer
+// attached and writes a Chrome trace_event JSON file (open in Perfetto or
+// chrome://tracing); the trace's per-branch aggregation is cross-checked
+// against the run's Figure 12 counters:
+//
+//	brexp -trace out.json                          # leela_17 under Mini
+//	brexp -trace out.json -trace-workload mcf_17 -trace-config big
+//	brexp -trace out.json -trace-filter pc=0x4a0   # one branch's events
 package main
 
 import (
@@ -31,8 +40,29 @@ func main() {
 		asJSON      = flag.Bool("json", false, "emit tables as JSON instead of text")
 		sweepInstrs = flag.Uint64("sweepinstrs", 0, "override Figure 13 sweep budget per run")
 		jobs        = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); output is identical for any value")
+
+		traceOut      = flag.String("trace", "", "write a Chrome trace_event JSON of one run to this path and exit")
+		traceFilter   = flag.String("trace-filter", "", "only trace events for one branch: pc=0x...")
+		traceWorkload = flag.String("trace-workload", "leela_17", "workload for -trace mode")
+		traceConfig   = flag.String("trace-config", "mini", "configuration for -trace mode: baseline|coreonly|mini|big")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		opts := traceOptions{
+			out:      *traceOut,
+			filter:   *traceFilter,
+			workload: *traceWorkload,
+			config:   *traceConfig,
+			warmup:   *warmup,
+			instrs:   *instrs,
+		}
+		if err := runTrace(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "brexp: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := br.DefaultExperimentOptions()
 	if *quick {

@@ -16,6 +16,9 @@
 //   - goroutine-safety: no go statements or sync primitives on the
 //     simulation path; concurrency is confined to the experiment runner so
 //     every sim.Run stays single-threaded and bit-reproducible.
+//   - trace-guard: every trace.Tracer.Emit call sits inside an
+//     `if tr.Enabled() { ... }` block, so runs with tracing disabled never
+//     pay for event construction.
 //
 // Vetted findings are suppressed in place with a directive comment:
 //
@@ -83,6 +86,7 @@ func Analyzers() []*Analyzer {
 		ResultAgg(),
 		FloatCompare(),
 		GoroutineSafety(),
+		TraceGuard(),
 	}
 }
 

@@ -19,6 +19,7 @@ var simPathPackages = []string{
 	"internal/dram",
 	"internal/emu",
 	"internal/sim",
+	"internal/trace",
 }
 
 // RuleDeterminism is the determinism rule name (for allow directives).

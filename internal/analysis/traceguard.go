@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RuleTraceGuard is the trace-guard rule name.
+const RuleTraceGuard = "trace-guard"
+
+// TraceGuard enforces the zero-overhead tracing contract: every call to
+// (*trace.Tracer).Emit must be lexically inside the body of an if
+// statement whose condition calls (*trace.Tracer).Enabled(). Emit is
+// nil-safe, so an unguarded call would not crash — it would silently pay
+// the Event construction cost on every simulated cycle even with tracing
+// off, which is exactly the overhead the guard idiom exists to avoid.
+// The trace package itself (which implements Emit) is exempt.
+func TraceGuard() *Analyzer {
+	return &Analyzer{
+		Name: RuleTraceGuard,
+		Doc:  "require trace.Tracer.Emit calls to be guarded by an Enabled() check",
+		Run:  runTraceGuard,
+	}
+}
+
+func runTraceGuard(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if pathHasSuffix(pkg.Path, "internal/trace") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			diags = append(diags, traceGuardFile(prog, pkg, file, nil, false)...)
+		}
+	}
+	return diags
+}
+
+// traceGuardFile walks n tracking whether the current position is inside
+// the then-branch of an Enabled()-conditioned if statement.
+func traceGuardFile(prog *Program, pkg *Package, n ast.Node, diags []Diagnostic, guarded bool) []Diagnostic {
+	switch n := n.(type) {
+	case nil:
+		return diags
+	case *ast.IfStmt:
+		diags = traceGuardFile(prog, pkg, n.Init, diags, guarded)
+		diags = traceGuardFile(prog, pkg, n.Cond, diags, guarded)
+		// The then-branch is guarded when the condition establishes
+		// Enabled(); the else-branch means tracing is off there.
+		diags = traceGuardFile(prog, pkg, n.Body, diags, guarded || condChecksEnabled(pkg, n.Cond))
+		return traceGuardFile(prog, pkg, n.Else, diags, guarded)
+	case *ast.CallExpr:
+		if !guarded && isTracerMethod(pkg, n, "Emit") {
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Position(n.Pos()),
+				Rule:    RuleTraceGuard,
+				Message: "trace.Tracer.Emit outside an Enabled() guard; wrap in `if tr.Enabled() { ... }` so disabled runs skip event construction",
+			})
+		}
+	case *ast.FuncLit:
+		// A function literal executes later; the lexical guard does not
+		// extend into it.
+		return traceGuardFile(prog, pkg, n.Body, diags, false)
+	}
+	for _, child := range childNodes(n) {
+		diags = traceGuardFile(prog, pkg, child, diags, guarded)
+	}
+	return diags
+}
+
+// childNodes returns the direct AST children of n (one level, no
+// recursion), preserving source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// condChecksEnabled reports whether an if condition contains a call to
+// (*trace.Tracer).Enabled.
+func condChecksEnabled(pkg *Package, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isTracerMethod(pkg, call, "Enabled") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isTracerMethod reports whether call invokes the named method on
+// trace.Tracer (directly or through an embedded field).
+func isTracerMethod(pkg *Package, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	return strings.HasSuffix(fn.FullName(), "internal/trace.Tracer)."+name)
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import "testing"
+
+// tracePkg is a minimal stand-in for repro/internal/trace with the same
+// method shapes the rule keys on.
+var tracePkg = fixturePkg{
+	path: "repro/internal/trace",
+	files: map[string]string{"trace.go": `package trace
+type Event struct{ Cycle, PC uint64 }
+type Tracer struct{ n int }
+func (t *Tracer) Enabled() bool { return t != nil }
+func (t *Tracer) Emit(ev Event) {}`},
+}
+
+func TestTraceGuard(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "guarded emit passes",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer, pc uint64) {
+	if tr.Enabled() {
+		tr.Emit(trace.Event{PC: pc})
+	}
+}`,
+		},
+		{
+			name: "unguarded emit flagged",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer, pc uint64) {
+	tr.Emit(trace.Event{PC: pc})
+}`,
+			want: []string{"trace-guard: trace.Tracer.Emit outside an Enabled() guard"},
+		},
+		{
+			name: "guard with init statement passes",
+			src: `package core
+import "repro/internal/trace"
+type cfg struct{ Trace *trace.Tracer }
+func f(c cfg) {
+	if tr := c.Trace; tr.Enabled() {
+		tr.Emit(trace.Event{})
+	}
+}`,
+		},
+		{
+			name: "compound condition passes",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer, hot bool) {
+	if hot && tr.Enabled() {
+		tr.Emit(trace.Event{})
+	}
+}`,
+		},
+		{
+			name: "nested block inside guard passes",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer, xs []uint64) {
+	if tr.Enabled() {
+		for _, x := range xs {
+			if x > 0 {
+				tr.Emit(trace.Event{PC: x})
+			}
+		}
+	}
+}`,
+		},
+		{
+			name: "emit in else branch flagged",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer) {
+	if tr.Enabled() {
+		_ = 1
+	} else {
+		tr.Emit(trace.Event{})
+	}
+}`,
+			want: []string{"trace-guard: trace.Tracer.Emit outside an Enabled() guard"},
+		},
+		{
+			name: "guard does not extend into function literal",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer) func() {
+	if tr.Enabled() {
+		return func() { tr.Emit(trace.Event{}) }
+	}
+	return nil
+}`,
+			want: []string{"trace-guard: trace.Tracer.Emit outside an Enabled() guard"},
+		},
+		{
+			name: "unrelated Emit method is out of scope",
+			src: `package core
+type logger struct{}
+func (logger) Emit(s string) {}
+func f(l logger) { l.Emit("x") }`,
+		},
+		{
+			name: "if without enabled check does not guard",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer, hot bool) {
+	if hot {
+		tr.Emit(trace.Event{})
+	}
+}`,
+			want: []string{"trace-guard: trace.Tracer.Emit outside an Enabled() guard"},
+		},
+		{
+			name: "allow directive suppresses",
+			src: `package core
+import "repro/internal/trace"
+func f(tr *trace.Tracer) {
+	tr.Emit(trace.Event{}) //brlint:allow trace-guard
+}`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := loadFixture(t, tracePkg,
+				fixturePkg{path: "repro/internal/core", files: map[string]string{"fix.go": tc.src}})
+			got := diagStrings(prog, []*Analyzer{TraceGuard()})
+			assertDiags(t, got, tc.want)
+		})
+	}
+}
+
+// TestTraceGuardExemptsTracePackage pins the exemption: the trace package
+// implements Emit and may call it unguarded by design, but the exemption
+// is exact — a subpackage gets no free pass.
+func TestTraceGuardExemptsTracePackage(t *testing.T) {
+	exempt := fixturePkg{
+		path: "repro/internal/trace",
+		files: map[string]string{"trace.go": `package trace
+type Event struct{ Cycle, PC uint64 }
+type Tracer struct{ n int }
+func (t *Tracer) Enabled() bool { return t != nil }
+func (t *Tracer) Emit(ev Event) {}
+func (t *Tracer) EmitAll(evs []Event) {
+	for _, ev := range evs {
+		t.Emit(ev)
+	}
+}`},
+	}
+	sub := fixturePkg{
+		path: "repro/internal/trace/traceutil",
+		files: map[string]string{"fix.go": `package traceutil
+import "repro/internal/trace"
+func f(tr *trace.Tracer) { tr.Emit(trace.Event{}) }`},
+	}
+	prog := loadFixture(t, exempt, sub)
+	got := diagStrings(prog, []*Analyzer{TraceGuard()})
+	assertDiags(t, got, []string{"trace-guard"})
+}

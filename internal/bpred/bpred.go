@@ -34,6 +34,11 @@ type Predictor interface {
 	Checkpoint() Snapshot
 	// Restore rewinds the speculative history to a checkpoint.
 	Restore(s Snapshot)
+	// Release returns a checkpoint to the predictor once no in-flight
+	// branch can restore to it (its branch retired or was squashed), so
+	// implementations can recycle the allocation. A snapshot must be
+	// released at most once and never used afterwards.
+	Release(s Snapshot)
 	// Commit updates the prediction tables at retirement. taken is the
 	// resolved direction, pred the direction Predict returned, and info
 	// the value Predict returned alongside it.
@@ -108,6 +113,9 @@ func (b *Bimodal) Checkpoint() Snapshot { return nil }
 // Restore implements Predictor.
 func (b *Bimodal) Restore(Snapshot) {}
 
+// Release implements Predictor; bimodal checkpoints hold no storage.
+func (b *Bimodal) Release(Snapshot) {}
+
 // Commit implements Predictor.
 func (b *Bimodal) Commit(pc uint64, taken, _ bool, _ Info) {
 	i := pc & b.mask
@@ -164,6 +172,9 @@ func (g *Gshare) Checkpoint() Snapshot { return g.hist }
 
 // Restore implements Predictor.
 func (g *Gshare) Restore(s Snapshot) { g.hist = s.(uint64) }
+
+// Release implements Predictor; gshare checkpoints are plain values.
+func (g *Gshare) Release(Snapshot) {}
 
 // Commit implements Predictor.
 func (g *Gshare) Commit(_ uint64, taken, _ bool, info Info) {

@@ -1,0 +1,60 @@
+package bpred
+
+import "testing"
+
+// TestTAGECheckpointPoolNoAlloc asserts that the checkpoint free list
+// makes the per-conditional-branch Checkpoint/Release pair
+// allocation-free once primed.
+func TestTAGECheckpointPoolNoAlloc(t *testing.T) {
+	p := NewTAGESCL64()
+	p.Release(p.Checkpoint())
+	allocs := testing.AllocsPerRun(200, func() {
+		s := p.Checkpoint()
+		p.Restore(s)
+		p.Release(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("checkpoint/restore/release allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestTAGEPooledCheckpointRestores verifies a pooled (recycled) snapshot
+// captures state as faithfully as a fresh one: speculative history
+// pushed after the checkpoint must be fully rewound by Restore.
+func TestTAGEPooledCheckpointRestores(t *testing.T) {
+	p := NewTAGESCL64()
+	// Train a little so predictions are not uniform, and churn the pool
+	// so later checkpoints are recycled ones.
+	for i := 0; i < 64; i++ {
+		pc := uint64(i%8) * 4
+		s := p.Checkpoint()
+		taken := i%3 == 0
+		pred, info := p.Predict(pc)
+		p.OnFetch(pc, taken)
+		p.Commit(pc, taken, pred, info)
+		p.Release(s)
+	}
+
+	pcs := make([]uint64, 32)
+	for i := range pcs {
+		pcs[i] = uint64(i) * 4
+	}
+	before := make([]bool, len(pcs))
+	for i, pc := range pcs {
+		before[i], _ = p.Predict(pc)
+	}
+
+	snap := p.Checkpoint()
+	for i := 0; i < 100; i++ {
+		p.OnFetch(uint64(i)*8, i%2 == 0)
+	}
+	p.Restore(snap)
+	p.Release(snap)
+
+	for i, pc := range pcs {
+		if got, _ := p.Predict(pc); got != before[i] {
+			t.Fatalf("prediction for pc %#x changed across checkpoint/restore: %v -> %v",
+				pc, before[i], got)
+		}
+	}
+}

@@ -99,6 +99,11 @@ type tage struct {
 	// predictor (the statistical corrector); they ride along with
 	// speculative updates and checkpoints.
 	extraFolds []folded
+
+	// snapPool recycles released checkpoints: the core takes one per
+	// conditional-branch fetch, so without reuse the hot path allocates a
+	// tageSnap plus its folds slice on every such fetch.
+	snapPool []*tageSnap
 }
 
 func newTage(p TageParams) *tage {
@@ -288,8 +293,16 @@ type tageSnap struct {
 
 func (t *tage) checkpoint() *tageSnap {
 	n := t.numTables()
-	s := &tageSnap{head: t.hist.head, path: t.path,
-		folds: make([]uint32, 3*n+len(t.extraFolds))}
+	var s *tageSnap
+	if last := len(t.snapPool) - 1; last >= 0 {
+		s = t.snapPool[last]
+		t.snapPool[last] = nil
+		t.snapPool = t.snapPool[:last]
+		s.head, s.path = t.hist.head, t.path
+	} else {
+		s = &tageSnap{head: t.hist.head, path: t.path,
+			folds: make([]uint32, 3*n+len(t.extraFolds))}
+	}
 	for i := 0; i < n; i++ {
 		s.folds[3*i] = t.idxF[i].comp
 		s.folds[3*i+1] = t.tagF1[i].comp
@@ -315,6 +328,14 @@ func (t *tage) restore(s *tageSnap) {
 	for i := range t.extraFolds {
 		t.extraFolds[i].comp = s.folds[3*n+i]
 	}
+}
+
+// release returns a checkpoint to the pool for reuse by checkpoint().
+func (t *tage) release(s *tageSnap) {
+	if s == nil {
+		return
+	}
+	t.snapPool = append(t.snapPool, s)
 }
 
 // onFetch pushes one speculative history bit.

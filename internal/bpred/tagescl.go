@@ -171,6 +171,14 @@ func (s *TAGESCL) Checkpoint() Snapshot { return s.t.checkpoint() }
 // Restore implements Predictor.
 func (s *TAGESCL) Restore(snap Snapshot) { s.t.restore(snap.(*tageSnap)) }
 
+// Release implements Predictor: retired/squashed checkpoints go back to
+// the pool checkpoint() allocates from.
+func (s *TAGESCL) Release(snap Snapshot) {
+	if snap != nil {
+		s.t.release(snap.(*tageSnap))
+	}
+}
+
 // Commit implements Predictor.
 func (s *TAGESCL) Commit(pc uint64, taken, _ bool, info Info) {
 	in := info.(*sclInfo)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // MemLevel is anything that can service a memory access: a cache level or
@@ -66,6 +67,11 @@ type Cache struct {
 
 	// Prefetcher, optional; trained on misses of this cache, fills next.
 	pf *StreamPrefetcher
+
+	// tr is the structured event tracer (nil when tracing is off);
+	// trUnit identifies this level on the trace timeline.
+	tr     *trace.Tracer
+	trUnit uint64
 
 	// Counters: hits, misses, evictions, writebacks, pendingHits.
 	C *stats.Counters
@@ -154,6 +160,13 @@ func New(cfg Config, next MemLevel) *Cache {
 func (c *Cache) AttachPrefetcher(pf *StreamPrefetcher, fillInto *Cache) {
 	c.pf = pf
 	pf.fill = fillInto
+}
+
+// SetTracer attaches a structured event tracer; unit is the trace.Unit*
+// constant identifying this level. A nil tracer disables emission.
+func (c *Cache) SetTracer(tr *trace.Tracer, unit uint64) {
+	c.tr = tr
+	c.trUnit = unit
 }
 
 // Name returns the configured level name.
@@ -291,6 +304,12 @@ func (c *Cache) access(now uint64, addr uint64, write bool, usePort bool) uint64
 
 	if c.pf != nil {
 		c.pf.Train(missDone, addr)
+	}
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Cycle: now, Addr: addr, Kind: trace.KindCacheMiss,
+			Arg: c.trUnit, Val: missDone - now, Flag: write,
+		})
 	}
 	return missDone
 }

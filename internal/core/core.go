@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/program"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // BranchStat accumulates per-static-branch outcomes, the raw material of
@@ -53,6 +54,7 @@ type Core struct {
 	haltRetired     bool
 
 	tracer Tracer
+	tr     *trace.Tracer
 
 	// Stats.
 	C        *stats.Counters
@@ -187,6 +189,9 @@ func (c *Core) retire() {
 		if c.ext != nil {
 			c.ext.Retired(c.now, d)
 		}
+		if d.IsCondBr {
+			c.releaseSnaps(d)
+		}
 		if d.U.Op == isa.OpHalt {
 			c.haltRetired = true
 			return
@@ -208,6 +213,12 @@ func (c *Core) retireBranch(d *DynUop) {
 	if d.PredTaken != d.Res.Taken {
 		c.Ctr.Mispredicts.Inc()
 		bs.Mispred++
+	}
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Cycle: c.now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindBranchRetire,
+			Flag: d.Res.Taken, Arg: trace.Bit(d.PredTaken != d.Res.Taken),
+		})
 	}
 	if d.UsedDCE {
 		bs.DCEUsed++
@@ -246,6 +257,23 @@ func (c *Core) complete() {
 	}
 }
 
+// releaseSnaps returns d's predictor and extension checkpoints to their
+// free lists, exactly once (fields are nilled so a later squash of an
+// already-released branch is harmless). Called when d can no longer be
+// recovered to: at retire or when d itself is squashed.
+func (c *Core) releaseSnaps(d *DynUop) {
+	if d.bpSnap != nil {
+		c.bp.Release(d.bpSnap)
+		d.bpSnap = nil
+	}
+	if d.extSnap != nil {
+		if c.ext != nil {
+			c.ext.ReleaseCheckpoint(d.extSnap)
+		}
+		d.extSnap = nil
+	}
+}
+
 // releaseWP removes d from the wrong-path tracker, exactly once.
 func (c *Core) releaseWP(d *DynUop) {
 	if d.wpCounted {
@@ -257,6 +285,12 @@ func (c *Core) releaseWP(d *DynUop) {
 func (c *Core) resolveBranch(d *DynUop) {
 	mispred := d.PredTaken != d.Res.Taken
 	d.Mispred = mispred
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Cycle: c.now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindBranchResolve,
+			Flag: d.Res.Taken, Arg: trace.Bit(mispred),
+		})
+	}
 	// This branch no longer steers fetch down a wrong path.
 	c.releaseWP(d)
 	var correctRegs *emu.RegFile
@@ -300,6 +334,7 @@ func (c *Core) recoverAt(d *DynUop) {
 				c.lsqCount--
 			}
 			c.releaseWP(e)
+			c.releaseSnaps(e)
 			e.State = StSquashed
 			c.trace("squash", e)
 		}
@@ -307,6 +342,7 @@ func (c *Core) recoverAt(d *DynUop) {
 	// Squash the entire fetch queue (it is younger than any ROB entry).
 	for _, e := range c.fetchQ {
 		c.releaseWP(e)
+		c.releaseSnaps(e)
 		e.State = StSquashed
 	}
 	c.fetchQ = c.fetchQ[:0]
@@ -336,11 +372,14 @@ func (c *Core) recoverAt(d *DynUop) {
 	c.bp.Restore(d.bpSnap)
 	c.bp.OnFetch(d.U.PC, d.Res.Taken)
 	if c.ext != nil {
-		c.ext.Restore(d.extSnap)
+		c.ext.Restore(c.now, d.extSnap)
 	}
 	c.fetchStallUntil = c.now + c.cfg.RedirectPenalty
 	c.curFetchLine = ^uint64(0)
 	c.Ctr.Flushes.Inc()
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{Cycle: c.now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindRecovery})
+	}
 }
 
 // ----------------------------------------------------------------- issue --
@@ -567,6 +606,12 @@ func (c *Core) fetchCondBranch(pc uint64) *DynUop {
 	basePred, info := c.bp.Predict(pc)
 	d := c.fe.fetchUop(c.seq)
 	if d == nil {
+		// No micro-op was produced, so nothing will ever retire or squash
+		// these checkpoints: hand them straight back.
+		c.bp.Release(bpSnap)
+		if c.ext != nil && extSnap != nil {
+			c.ext.ReleaseCheckpoint(extSnap)
+		}
 		return nil
 	}
 	d.IsCondBr = true
@@ -585,6 +630,12 @@ func (c *Core) fetchCondBranch(pc uint64) *DynUop {
 	}
 	d.PredTaken = pred
 	c.bp.OnFetch(pc, pred)
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Cycle: c.now, PC: pc, Seq: d.Seq, Kind: trace.KindBranchFetch,
+			Flag: pred, Arg: trace.Bit(d.UsedDCE),
+		})
+	}
 
 	// Steer fetch down the predicted direction (the functional step already
 	// advanced down the resolved direction; registers are unaffected).

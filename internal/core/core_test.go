@@ -171,7 +171,8 @@ func (oracleExt) FetchCondBranch(_ uint64, d *DynUop, _ bool) (bool, bool) {
 	return d.Res.Taken, true
 }
 func (oracleExt) Checkpoint() interface{}                      { return nil }
-func (oracleExt) Restore(interface{})                          {}
+func (oracleExt) Restore(uint64, interface{})                  {}
+func (oracleExt) ReleaseCheckpoint(interface{})                {}
 func (oracleExt) BranchResolved(uint64, *DynUop, *emu.RegFile) {}
 func (oracleExt) Flush(uint64, *DynUop, []*DynUop)             {}
 func (oracleExt) Retired(uint64, *DynUop)                      {}

@@ -1,5 +1,13 @@
 package core
 
+import "repro/internal/trace"
+
+// SetTrace attaches the structured event tracer (see internal/trace). A
+// nil tracer disables structured tracing; every emission site is guarded
+// by tr.Enabled(), so the disabled path costs one nil check and never
+// constructs an event.
+func (c *Core) SetTrace(tr *trace.Tracer) { c.tr = tr }
+
 // Tracer observes pipeline events for debugging and visualization
 // (cmd/brtrace). Tracing is off unless SetTracer is called; the hooks cost
 // one nil check per event when disabled.

@@ -192,8 +192,13 @@ type Extension interface {
 	// Checkpoint captures extension fetch-side state (prediction queue
 	// fetch pointers) before a conditional branch.
 	Checkpoint() interface{}
-	// Restore rewinds extension fetch-side state during a recovery.
-	Restore(snap interface{})
+	// Restore rewinds extension fetch-side state during a recovery at
+	// cycle now.
+	Restore(now uint64, snap interface{})
+	// ReleaseCheckpoint hands a checkpoint back once its branch retired
+	// or was squashed, so the extension can recycle the allocation. Each
+	// checkpoint is released at most once and never used afterwards.
+	ReleaseCheckpoint(snap interface{})
 	// BranchResolved is called when a conditional branch executes.
 	// correctRegs is the architectural register state at the branch (the
 	// live-in source for chain synchronization); it is only non-nil for

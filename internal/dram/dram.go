@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config holds the memory geometry and timing parameters.
@@ -67,7 +68,9 @@ type channel struct {
 type DRAM struct {
 	cfg Config
 	chs []channel
-	C   *stats.Counters
+	// tr is the structured event tracer (nil when tracing is off).
+	tr *trace.Tracer
+	C  *stats.Counters
 	// Ctr holds dense handles into C for the per-request events.
 	Ctr DRAMCounters
 }
@@ -128,6 +131,9 @@ func New(cfg Config) *DRAM {
 	return d
 }
 
+// SetTracer attaches a structured event tracer; nil disables emission.
+func (d *DRAM) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
 // Access implements the memory side of the hierarchy: it services a line
 // read or write-back beginning no earlier than now and returns the
 // completion cycle.
@@ -174,6 +180,7 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 	}
 
 	var lat uint64
+	rowKind := trace.RowHit
 	switch {
 	case b.openRow == row:
 		lat = d.cfg.TCAS
@@ -181,6 +188,7 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 	case b.openRow < 0:
 		lat = d.cfg.TRCD + d.cfg.TCAS
 		d.Ctr.RowMisses.Inc()
+		rowKind = trace.RowMiss
 		// Respect the activate-to-activate window.
 		if b.lastActAt+d.cfg.RowCycle > start {
 			start = b.lastActAt + d.cfg.RowCycle
@@ -189,6 +197,7 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 	default:
 		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
 		d.Ctr.RowConflicts.Inc()
+		rowKind = trace.RowConflict
 		if b.lastActAt+d.cfg.RowCycle > start {
 			start = b.lastActAt + d.cfg.RowCycle
 		}
@@ -208,6 +217,12 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 	b.freeAt = done
 	if d.cfg.QueueSize > 0 {
 		ch.queue = append(ch.queue, done)
+	}
+	if d.tr.Enabled() {
+		d.tr.Emit(trace.Event{
+			Cycle: now, Addr: addr, Kind: trace.KindDRAMAccess,
+			Arg: rowKind, Val: done - now, Flag: write,
+		})
 	}
 	if write {
 		d.Ctr.Writes.Inc()

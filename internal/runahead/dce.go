@@ -8,6 +8,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // envVal is one architectural-register binding in a chain instance's
@@ -110,6 +111,9 @@ type DCE struct {
 	C *stats.Counters
 	// Dense handles for the engine's per-event counters.
 	ctr dceCounters
+
+	// tr is the structured event tracer (nil when tracing is off).
+	tr *trace.Tracer
 }
 
 // dceCounters are pre-registered handles; uopsIssued and loadsIssued fire
@@ -191,7 +195,7 @@ func (e *DCE) Sync(now uint64, pc uint64, taken bool, regs *emu.RegFile) {
 	}
 	for _, in := range e.all {
 		if !in.done() && families[in.chain.BranchPC] {
-			e.kill(in)
+			e.kill(now, in)
 		}
 	}
 	live := e.deferred[:0]
@@ -239,10 +243,10 @@ func (e *DCE) hasChainsFor(pc uint64) bool {
 // DeactivateFamily kills the active instances computing branch pc and marks
 // its queue inactive (divergence detected at retire; resynchronization
 // happens at the next core misprediction).
-func (e *DCE) DeactivateFamily(pc uint64) {
+func (e *DCE) DeactivateFamily(now uint64, pc uint64) {
 	for _, in := range e.all {
 		if !in.done() && in.chain.BranchPC == pc {
-			e.kill(in)
+			e.kill(now, in)
 		}
 	}
 	if q := e.pqs.For(pc); q != nil {
@@ -251,12 +255,17 @@ func (e *DCE) DeactivateFamily(pc uint64) {
 	e.ctr.divergences.Inc()
 }
 
-func (e *DCE) kill(in *Instance) {
+func (e *DCE) kill(now uint64, in *Instance) {
 	if in.done() {
 		return
 	}
 	in.killed = true
 	e.activeRun--
+	if e.tr.Enabled() {
+		e.tr.Emit(trace.Event{
+			Cycle: now, PC: in.chain.BranchPC, Seq: in.id, Kind: trace.KindChainKill,
+		})
+	}
 }
 
 // initiate launches one dynamic chain instance. env supplies the inherited
@@ -327,6 +336,11 @@ func (e *DCE) initiate(now uint64, ch *Chain, env *[isa.NumRegs]envVal, parent *
 	e.run = append(e.run, in)
 	e.activeRun++
 	e.ctr.instances.Inc()
+	if e.tr.Enabled() {
+		e.tr.Emit(trace.Event{
+			Cycle: now, PC: ch.BranchPC, Seq: in.id, Kind: trace.KindChainInit, Arg: slot,
+		})
+	}
 	e.onInitiated(now, in)
 	return in
 }
@@ -405,7 +419,7 @@ func (e *DCE) fireCompletionTriggers(now uint64, in *Instance) {
 	if e.cfg.InitMode == Predictive && in.specPredicted && in.predOut != in.outcome {
 		// Speculative initiations went down the wrong direction: flush
 		// everything younger and initiate the correct chains (paper §4.1).
-		e.flushYoungerThan(in)
+		e.flushYoungerThan(now, in)
 		e.ctr.predictiveFlushes.Inc()
 	}
 	for _, ch := range e.cc.Lookup(pc, in.outcome) {
@@ -419,7 +433,7 @@ func (e *DCE) fireCompletionTriggers(now uint64, in *Instance) {
 // id in e.all, so the walk starts from the tail and stops at in. Completed
 // younger instances were built on the wrong speculation too: their slots
 // rewind and their completion triggers are suppressed.
-func (e *DCE) flushYoungerThan(in *Instance) {
+func (e *DCE) flushYoungerThan(now uint64, in *Instance) {
 	minAlloc := make(map[*Queue]uint64)
 	for k := len(e.all) - 1; k >= 0; k-- {
 		o := e.all[k]
@@ -432,7 +446,7 @@ func (e *DCE) flushYoungerThan(in *Instance) {
 		if o.completed {
 			o.killed = true // suppress the pending completion trigger
 		} else {
-			e.kill(o)
+			e.kill(now, o)
 		}
 		if o.q != nil && o.q.gen == o.slotGen {
 			if cur, ok := minAlloc[o.q]; !ok || o.slotIdx < cur {
@@ -468,7 +482,7 @@ func (e *DCE) Tick(now uint64, spareIssue, spareRS int) {
 	e.spareRS = spareRS
 
 	e.compactRun()
-	e.resolvePending()
+	e.resolvePending(now)
 	e.completeExecution(now)
 	e.processTriggers(now)
 	e.retryDeferred(now)
@@ -488,7 +502,7 @@ func (e *DCE) compactRun() {
 }
 
 // resolvePending copies producer locals into waiting live-ins.
-func (e *DCE) resolvePending() {
+func (e *DCE) resolvePending(now uint64) {
 	for _, in := range e.run {
 		if in.done() || len(in.pending) == 0 {
 			continue
@@ -497,7 +511,7 @@ func (e *DCE) resolvePending() {
 		for _, p := range in.pending {
 			switch {
 			case p.src.killed:
-				e.kill(in)
+				e.kill(now, in)
 			case p.src.ready[p.srcLocal]:
 				in.vals[p.local] = p.src.vals[p.srcLocal]
 				in.ready[p.local] = true
@@ -535,11 +549,23 @@ func (e *DCE) completeExecution(now uint64) {
 				in.completed = true
 				e.activeRun--
 				e.ctr.completions.Inc()
+				if e.tr.Enabled() {
+					e.tr.Emit(trace.Event{
+						Cycle: now, PC: in.chain.BranchPC, Seq: in.id,
+						Kind: trace.KindChainComplete, Flag: in.outcome,
+					})
+				}
 				// Push into the prediction queue.
 				if in.q.gen == in.slotGen {
 					s := in.q.slot(in.slotIdx)
 					s.filled = true
 					s.value = in.outcome
+					if e.tr.Enabled() {
+						e.tr.Emit(trace.Event{
+							Cycle: now, PC: in.q.branchPC, Seq: in.id,
+							Kind: trace.KindPQFill, Arg: in.slotIdx, Flag: in.outcome,
+						})
+					}
 				}
 			}
 		}

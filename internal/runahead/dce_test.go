@@ -212,7 +212,7 @@ func TestDCEDeactivateFamilyKillsInstances(t *testing.T) {
 	if dce.ActiveInstances() == 0 {
 		t.Fatal("precondition: instances running")
 	}
-	dce.DeactivateFamily(7)
+	dce.DeactivateFamily(0, 7)
 	if dce.ActiveInstances() != 0 {
 		t.Fatalf("%d instances survived deactivation", dce.ActiveInstances())
 	}

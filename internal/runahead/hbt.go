@@ -131,8 +131,11 @@ func (h *HBT) evict(i int) {
 	e.valid = false
 }
 
-// OnRetireBranch observes one retired conditional branch.
-func (h *HBT) OnRetireBranch(pc uint64, taken, mispredicted bool) {
+// OnRetireBranch observes one retired conditional branch. It returns the
+// number of AG lists the branch was removed from because its bias counter
+// crossed the threshold this retirement (0 in the common case), so
+// callers can surface bias-driven AG removal without re-deriving it.
+func (h *HBT) OnRetireBranch(pc uint64, taken, mispredicted bool) int {
 	h.retiredBranches++
 	if h.retiredBranches%mispPeriod == 0 {
 		h.decay()
@@ -142,7 +145,7 @@ func (h *HBT) OnRetireBranch(pc uint64, taken, mispredicted bool) {
 		// Allocate on retire when space is available.
 		e = h.allocate(pc)
 		if e == nil {
-			return
+			return 0
 		}
 	}
 	if mispredicted && e.misp < mispCtrMax {
@@ -167,9 +170,10 @@ func (h *HBT) OnRetireBranch(pc uint64, taken, mispredicted bool) {
 			e.biasDir = taken
 		}
 		if h.IsBiased(pc) {
-			h.removeFromAGLs(pc)
+			return h.removeFromAGLs(pc)
 		}
 	}
+	return 0
 }
 
 func (h *HBT) decay() {
@@ -212,19 +216,23 @@ func (h *HBT) ShouldExtract(pc uint64) bool {
 	return h.nextRand()%100 == 0 && e.misp > 0
 }
 
-// removeFromAGLs removes a (now biased) branch from every AG list.
-func (h *HBT) removeFromAGLs(pc uint64) {
+// removeFromAGLs removes a (now biased) branch from every AG list and
+// returns the number of lists it was dropped from.
+func (h *HBT) removeFromAGLs(pc uint64) int {
 	i, ok := h.byPC[pc]
 	if !ok || i >= 64 {
-		return
+		return 0
 	}
+	removed := 0
 	bit := uint64(1) << uint(i)
 	for j := range h.entries {
 		if h.entries[j].agl&bit != 0 {
 			h.entries[j].agl &^= bit
 			h.entries[j].agc = true
+			removed++
 		}
 	}
+	return removed
 }
 
 // addAG records agPC as an affector/guard of hardPC (the mergepoint.Sink

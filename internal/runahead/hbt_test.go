@@ -263,3 +263,86 @@ func TestPQSetEviction(t *testing.T) {
 		t.Fatal("survivor lost its queue")
 	}
 }
+
+// TestHBTBiasCrossingClearsEveryAGList: a guard serving several hard
+// branches crosses the bias threshold once, and that single retirement
+// removes it from every AG list (OnRetireBranch reports the count) and
+// from every subsequent AGSet.
+func TestHBTBiasCrossingClearsEveryAGList(t *testing.T) {
+	h := NewHBT(64)
+	hards := []uint64{0x10, 0x14, 0x18}
+	const guard = 0x20
+	for _, hard := range hards {
+		for i := 0; i < 40; i++ {
+			h.OnRetireBranch(hard, i%2 == 0, true)
+		}
+		h.Guard(guard, hard)
+	}
+	for _, hard := range hards {
+		if ags := h.AGSet(hard); len(ags) != 1 || ags[0] != guard {
+			t.Fatalf("precondition: AGSet(%#x) = %#x, want [guard]", hard, ags)
+		}
+	}
+
+	crossings, removedTotal := 0, 0
+	for i := 0; i < 2000; i++ {
+		if n := h.OnRetireBranch(guard, true, false); n > 0 {
+			crossings++
+			removedTotal += n
+		}
+	}
+	if !h.IsBiased(guard) {
+		t.Fatal("always-taken guard not classified as biased")
+	}
+	if crossings != 1 {
+		t.Fatalf("bias-driven removal reported on %d retirements, want exactly the crossing one", crossings)
+	}
+	if removedTotal != len(hards) {
+		t.Fatalf("removed from %d AG lists, want %d", removedTotal, len(hards))
+	}
+	for _, hard := range hards {
+		for _, pc := range h.AGSet(hard) {
+			if pc == guard {
+				t.Fatalf("biased guard still in AGSet(%#x)", hard)
+			}
+		}
+	}
+	// While biased, the merge-point sink must refuse to re-add it.
+	h.Guard(guard, hards[0])
+	for _, pc := range h.AGSet(hards[0]) {
+		if pc == guard {
+			t.Fatal("biased guard re-added to an AG list")
+		}
+	}
+}
+
+// TestHBTBiasReanchor: the first observed direction anchors the bias
+// counter; when it was an outlier, the counter bottoms out, re-anchors on
+// the actual common direction, and still reaches the threshold — so a
+// branch whose very first retirement went the rare way is not immune to
+// bias-driven AG removal.
+func TestHBTBiasReanchor(t *testing.T) {
+	h := NewHBT(64)
+	const hard, guard = 0x10, 0x20
+	for i := 0; i < 40; i++ {
+		h.OnRetireBranch(hard, i%2 == 0, true)
+	}
+	h.Guard(guard, hard)
+
+	// First retirement not-taken (the rare direction), then always taken.
+	removed := h.OnRetireBranch(guard, false, false)
+	for i := 0; i < 2000; i++ {
+		removed += h.OnRetireBranch(guard, true, false)
+	}
+	if !h.IsBiased(guard) {
+		t.Fatal("re-anchored guard never classified as biased")
+	}
+	if removed != 1 {
+		t.Fatalf("bias-driven removals = %d, want 1", removed)
+	}
+	for _, pc := range h.AGSet(hard) {
+		if pc == guard {
+			t.Fatal("re-anchored biased guard still in the AG list")
+		}
+	}
+}

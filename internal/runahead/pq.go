@@ -1,5 +1,7 @@
 package runahead
 
+import "repro/internal/trace"
+
 // The prediction queues (paper §4.2) synchronize DCE-computed branch
 // outcomes with instruction fetch. Each targeted branch owns one queue.
 // Slots are allocated at chain initiation (so they appear in program
@@ -16,6 +18,9 @@ type pqSlot struct {
 
 // Queue is one per-branch prediction queue.
 type Queue struct {
+	// assigned distinguishes a queue bound to a branch from a free one;
+	// branchPC alone cannot, because PC 0 is a legal branch address.
+	assigned bool
 	branchPC uint64
 	slots    []pqSlot
 	// Monotonic pointers; slot i lives at slots[i % len].
@@ -51,6 +56,14 @@ type PQSet struct {
 	cfg    *Config
 	queues []*Queue
 	byPC   map[uint64]*Queue
+
+	// cpPool recycles released fetch-pointer checkpoints; Checkpoint is
+	// called once per conditional-branch fetch, so pooling keeps that
+	// path allocation-free in steady state.
+	cpPool []*pqCheckpoint
+
+	// tr is the structured event tracer (nil when tracing is off).
+	tr *trace.Tracer
 }
 
 // NewPQSet builds the queue set.
@@ -80,7 +93,7 @@ func (s *PQSet) Ensure(pc uint64, now uint64) *Queue {
 	}
 	var victim *Queue
 	for _, q := range s.queues {
-		if q.branchPC == 0 {
+		if !q.assigned {
 			victim = q
 			break
 		}
@@ -101,9 +114,10 @@ func (s *PQSet) Ensure(pc uint64, now uint64) *Queue {
 	if victim == nil {
 		return nil
 	}
-	if victim.branchPC != 0 {
+	if victim.assigned {
 		delete(s.byPC, victim.branchPC)
 	}
+	victim.assigned = true
 	victim.branchPC = pc
 	victim.reset(now)
 	victim.active = false // becomes active at the first synchronization
@@ -120,11 +134,19 @@ type pqCheckpoint struct {
 	gen   []uint64
 }
 
-// Checkpoint captures all fetch pointers.
+// Checkpoint captures all fetch pointers, reusing a released checkpoint
+// when one is pooled.
 func (s *PQSet) Checkpoint() *pqCheckpoint {
-	cp := &pqCheckpoint{
-		fetch: make([]uint64, len(s.queues)),
-		gen:   make([]uint64, len(s.queues)),
+	var cp *pqCheckpoint
+	if last := len(s.cpPool) - 1; last >= 0 {
+		cp = s.cpPool[last]
+		s.cpPool[last] = nil
+		s.cpPool = s.cpPool[:last]
+	} else {
+		cp = &pqCheckpoint{
+			fetch: make([]uint64, len(s.queues)),
+			gen:   make([]uint64, len(s.queues)),
+		}
 	}
 	for i, q := range s.queues {
 		cp.fetch[i] = q.fetch
@@ -133,16 +155,36 @@ func (s *PQSet) Checkpoint() *pqCheckpoint {
 	return cp
 }
 
+// Release returns a checkpoint to the pool once no in-flight branch can
+// restore to it. A checkpoint must be released at most once.
+func (s *PQSet) Release(cp *pqCheckpoint) {
+	if cp == nil {
+		return
+	}
+	s.cpPool = append(s.cpPool, cp)
+}
+
 // Restore rewinds fetch pointers to a checkpoint, reinserting previously
 // consumed predictions into their original queue positions.
-func (s *PQSet) Restore(cp *pqCheckpoint) {
+func (s *PQSet) Restore(cp *pqCheckpoint) { s.RestoreAt(0, cp) }
+
+// RestoreAt is Restore stamped with the recovery cycle: every queue whose
+// fetch pointer actually rewinds emits a pq_restore event.
+func (s *PQSet) RestoreAt(now uint64, cp *pqCheckpoint) {
 	if cp == nil {
 		return
 	}
 	for i, q := range s.queues {
-		if q.gen == cp.gen[i] {
-			q.fetch = cp.fetch[i]
+		if q.gen != cp.gen[i] {
+			continue
 		}
+		if s.tr.Enabled() && q.fetch != cp.fetch[i] {
+			s.tr.Emit(trace.Event{
+				Cycle: now, PC: q.branchPC, Kind: trace.KindPQRestore,
+				Arg: cp.fetch[i], Val: q.fetch,
+			})
+		}
+		q.fetch = cp.fetch[i]
 	}
 }
 
@@ -169,6 +211,21 @@ const (
 	catThrottled
 	catUsed
 )
+
+// traceCat maps a predCategory onto the trace package's category codes
+// (kept separate so internal/trace stays dependency-free).
+func traceCat(c predCategory) uint64 {
+	switch c {
+	case catInactive:
+		return trace.CatInactive
+	case catLate:
+		return trace.CatLate
+	case catThrottled:
+		return trace.CatThrottled
+	default:
+		return trace.CatUsed
+	}
+}
 
 func (c predCategory) String() string {
 	switch c {

@@ -118,7 +118,7 @@ func TestPQPointerOrderAcrossRecoveryFlush(t *testing.T) {
 	// Recovery flush: an older mispredicted branch squashes instances 2..4,
 	// restoring the checkpoint taken before instance 2 was fetched. The
 	// fetch pointer rewinds to 1 but must not drop below retire.
-	s.Restore(inflight[1].snap)
+	s.Restore(now, inflight[1].snap)
 	assertPQOrder(t, q, "restore")
 	if q.fetch != 1 {
 		t.Fatalf("fetch pointer %d after restore, want 1", q.fetch)
@@ -181,7 +181,7 @@ func TestPQLateSlotRefilledAcrossRecovery(t *testing.T) {
 
 	// The fallback mispredicted; recovery rewinds fetch. By refetch time the
 	// DCE has filled the slot, so the queue now supplies the outcome.
-	s.Restore(snap)
+	s.Restore(2, snap)
 	if q.fetch != 0 {
 		t.Fatalf("fetch pointer %d after recovery, want 0", q.fetch)
 	}
@@ -242,7 +242,7 @@ func TestPQResyncInvalidatesCheckpoints(t *testing.T) {
 
 	// Restoring the pre-resync checkpoint must be a no-op on this queue.
 	fetchBefore := q.fetch
-	s.Restore(snap)
+	s.Restore(now, snap)
 	if q.fetch != fetchBefore {
 		t.Fatalf("stale checkpoint rewound a resynchronized queue: fetch %d -> %d",
 			fetchBefore, q.fetch)

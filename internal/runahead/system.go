@@ -6,6 +6,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/mergepoint"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // System is the complete Branch Runahead extension: it implements
@@ -39,6 +40,9 @@ type System struct {
 	C *stats.Counters
 	// Dense handles for the per-branch-event counters.
 	ctr sysCounters
+
+	// tr is the structured event tracer (nil when tracing is off).
+	tr *trace.Tracer
 }
 
 // sysCounters are pre-registered handles for the prediction-accounting and
@@ -83,6 +87,14 @@ func New(cfg Config, dcache *cache.Cache, mem *emu.Memory) *System {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetTracer attaches the structured event tracer to the system and its
+// subunits (DCE, prediction queues). A nil tracer disables tracing.
+func (s *System) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	s.dce.tr = tr
+	s.pqs.tr = tr
+}
 
 // DCEStats exposes engine counters for the harness.
 func (s *System) DCEStats() *stats.Counters { return s.dce.C }
@@ -133,7 +145,13 @@ func (s *System) FetchCondBranch(now uint64, d *core.DynUop, basePred bool) (boo
 		// also limits how far ahead (or behind) the DCE can be", §4.2).
 		d.ExtData = &slotRef{q: q, gen: q.gen, cat: catInactive}
 		if q.active {
-			s.dce.DeactivateFamily(d.U.PC)
+			s.dce.DeactivateFamily(now, d.U.PC)
+		}
+		if s.tr.Enabled() {
+			s.tr.Emit(trace.Event{
+				Cycle: now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindPQConsume,
+				Val: trace.CatInactive,
+			})
 		}
 		return basePred, false
 	}
@@ -142,6 +160,7 @@ func (s *System) FetchCondBranch(now uint64, d *core.DynUop, basePred bool) (boo
 	slot := q.slot(idx)
 	ref := &slotRef{q: q, idx: idx, gen: q.gen}
 	d.ExtData = ref
+	pred, fromDCE := basePred, false
 	switch {
 	case !slot.filled:
 		// Consumed before the DCE finished computing it: "late". The slot
@@ -149,24 +168,37 @@ func (s *System) FetchCondBranch(now uint64, d *core.DynUop, basePred bool) (boo
 		// have been filled.
 		slot.consumed = true
 		ref.cat = catLate
-		return basePred, false
 	case s.cfg.Throttle && q.throttle < 0:
 		ref.cat = catThrottled
-		return basePred, false
 	default:
 		ref.used = true
 		ref.cat = catUsed
-		return slot.value, true
+		pred, fromDCE = slot.value, true
 	}
+	if s.tr.Enabled() {
+		s.tr.Emit(trace.Event{
+			Cycle: now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindPQConsume,
+			Arg: idx, Val: traceCat(ref.cat), Flag: ref.used,
+		})
+	}
+	return pred, fromDCE
 }
 
 // Checkpoint implements core.Extension.
 func (s *System) Checkpoint() interface{} { return s.pqs.Checkpoint() }
 
 // Restore implements core.Extension.
-func (s *System) Restore(snap interface{}) {
+func (s *System) Restore(now uint64, snap interface{}) {
 	if cp, ok := snap.(*pqCheckpoint); ok {
-		s.pqs.Restore(cp)
+		s.pqs.RestoreAt(now, cp)
+	}
+}
+
+// ReleaseCheckpoint implements core.Extension: dead fetch-pointer
+// checkpoints go back to the PQSet's pool.
+func (s *System) ReleaseCheckpoint(snap interface{}) {
+	if cp, ok := snap.(*pqCheckpoint); ok {
+		s.pqs.Release(cp)
 	}
 }
 
@@ -204,7 +236,7 @@ func (s *System) BranchResolved(now uint64, d *core.DynUop, correctRegs *emu.Reg
 				return
 			}
 			// The DCE's value was wrong too: divergence.
-			s.dce.DeactivateFamily(d.U.PC)
+			s.dce.DeactivateFamily(now, d.U.PC)
 		case catUsed:
 			// A used DCE prediction mispredicted: divergence. Account it
 			// and train the throttle now — the resynchronization below
@@ -212,14 +244,25 @@ func (s *System) BranchResolved(now uint64, d *core.DynUop, correctRegs *emu.Reg
 			// retire-time bookkeeping for exactly these events.
 			ref.counted = true
 			s.ctr.predIncorrect.Inc()
+			if s.tr.Enabled() {
+				s.tr.Emit(trace.Event{
+					Cycle: now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindPQAccount,
+					Val: trace.CatUsed, Flag: false,
+				})
+			}
 			if debugIncorrect != nil {
 				debugIncorrect(ref, d.Res.Taken)
 			}
 			if d.TagePred == d.Res.Taken && ref.q.throttle > -2 {
 				ref.q.throttle--
 			}
-			s.dce.DeactivateFamily(d.U.PC)
+			s.dce.DeactivateFamily(now, d.U.PC)
 		}
+	}
+	if s.tr.Enabled() {
+		s.tr.Emit(trace.Event{
+			Cycle: now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindSync, Flag: d.Res.Taken,
+		})
 	}
 	s.dce.Sync(now, d.U.PC, d.Res.Taken, correctRegs)
 }
@@ -248,23 +291,34 @@ func (s *System) Retired(now uint64, d *core.DynUop) {
 
 	pc := d.U.PC
 	actual := d.Res.Taken
-	s.hbt.OnRetireBranch(pc, actual, d.PredTaken != actual)
+	if removed := s.hbt.OnRetireBranch(pc, actual, d.PredTaken != actual); removed > 0 && s.tr.Enabled() {
+		s.tr.Emit(trace.Event{
+			Cycle: now, PC: pc, Kind: trace.KindHBTBias, Arg: uint64(removed),
+		})
+	}
 
 	// Prediction-queue retire-side bookkeeping.
 	if ref, ok := d.ExtData.(*slotRef); ok && !ref.counted && ref.q.gen == ref.gen {
-		s.accountPrediction(ref, actual, d)
+		s.accountPrediction(now, ref, actual, d)
 	}
 
 	// Chain extraction trigger (paper §4.3). Extraction takes place one
 	// chain at a time; a walk in progress blocks new ones.
 	if now >= s.extractBusyUntil && s.hbt.ShouldExtract(pc) {
 		s.extractBusyUntil = now + uint64(s.ceb.Len())/4 + 1
-		s.extract(pc)
+		s.extract(now, pc)
 	}
 }
 
-func (s *System) accountPrediction(ref *slotRef, actual bool, d *core.DynUop) {
+func (s *System) accountPrediction(now uint64, ref *slotRef, actual bool, d *core.DynUop) {
 	q := ref.q
+	correct := d.PredTaken == actual
+	if s.tr.Enabled() {
+		s.tr.Emit(trace.Event{
+			Cycle: now, PC: d.U.PC, Seq: d.Seq, Kind: trace.KindPQAccount,
+			Val: traceCat(ref.cat), Flag: correct && ref.cat == catUsed,
+		})
+	}
 	switch ref.cat {
 	case catInactive:
 		s.ctr.predInactive.Inc()
@@ -274,7 +328,7 @@ func (s *System) accountPrediction(ref *slotRef, actual bool, d *core.DynUop) {
 	case catThrottled:
 		s.ctr.predThrottled.Inc()
 	case catUsed:
-		if d.PredTaken == actual {
+		if correct {
 			s.ctr.predCorrect.Inc()
 		} else {
 			s.ctr.predIncorrect.Inc()
@@ -305,13 +359,13 @@ func (s *System) accountPrediction(ref *slotRef, actual bool, d *core.DynUop) {
 	// Divergence detection: a wrong DCE outcome deactivates the chains
 	// until the next synchronization (paper §4.1).
 	if dceDir != actual {
-		s.dce.DeactivateFamily(q.branchPC)
+		s.dce.DeactivateFamily(now, q.branchPC)
 	}
 }
 
 // extract runs chain extraction for the hard branch whose newest instance
 // just retired (it is the newest CEB entry).
-func (s *System) extract(pc uint64) {
+func (s *System) extract(now uint64, pc uint64) {
 	var agSet []uint64
 	if s.cfg.UseAffectorGuard {
 		agSet = s.hbt.AGSet(pc)
@@ -319,19 +373,32 @@ func (s *System) extract(pc uint64) {
 	ch, err := ExtractChain(s.ceb, &s.cfg, agSet)
 	if err != nil {
 		s.ctr.extractFailed.Inc()
+		if s.tr.Enabled() {
+			s.tr.Emit(trace.Event{Cycle: now, PC: pc, Kind: trace.KindExtract})
+		}
 		return
 	}
 	if ch.BranchPC != pc {
 		s.ctr.extractFailed.Inc()
+		if s.tr.Enabled() {
+			s.tr.Emit(trace.Event{Cycle: now, PC: pc, Kind: trace.KindExtract})
+		}
 		return
 	}
-	if s.cc.Install(ch) {
+	installed := s.cc.Install(ch)
+	if installed {
 		s.ctr.chainsInstalled.Inc()
 		s.chainCount++
 		s.chainLenSum += uint64(len(ch.Uops))
 		if ch.HasAGTrigger() {
 			s.chainAGTagged++
 		}
+	}
+	if s.tr.Enabled() {
+		s.tr.Emit(trace.Event{
+			Cycle: now, PC: pc, Kind: trace.KindExtract,
+			Arg: uint64(len(ch.Uops)), Flag: installed,
+		})
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/runahead"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -56,6 +57,10 @@ type Config struct {
 	Warmup uint64
 	// MaxInstrs is the measured instruction budget.
 	MaxInstrs uint64
+	// Trace, when non-nil, receives structured events from every simulated
+	// unit. Phase markers (warmup/measure/end) bracket the run so sinks can
+	// reproduce the warmup-excluded statistics.
+	Trace *trace.Tracer
 }
 
 // Validate checks the whole simulation configuration, including the nested
@@ -162,6 +167,19 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 		sys.ShareTLB(hier.DTLB)
 		c.SetExtension(sys)
 	}
+	if tr := cfg.Trace; tr.Enabled() {
+		c.SetTrace(tr)
+		hier.ICache.SetTracer(tr, trace.UnitL1I)
+		hier.DCache.SetTracer(tr, trace.UnitL1D)
+		hier.L2.SetTracer(tr, trace.UnitL2)
+		if d, ok := hier.Mem.(*dram.DRAM); ok {
+			d.SetTracer(tr)
+		}
+		if sys != nil {
+			sys.SetTracer(tr)
+		}
+		tr.Emit(trace.Event{Kind: trace.KindPhase, Arg: trace.PhaseWarmup})
+	}
 
 	if cfg.Warmup > 0 {
 		if _, err := c.Run(cfg.Warmup); err != nil {
@@ -169,10 +187,16 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 		}
 	}
 	snap := snapshot(c, sys, hier)
+	if tr := cfg.Trace; tr.Enabled() {
+		tr.Emit(trace.Event{Cycle: snap.cycles, Kind: trace.KindPhase, Arg: trace.PhaseMeasure})
+	}
 	if _, err := c.Run(snap.retired + cfg.MaxInstrs); err != nil {
 		return nil, fmt.Errorf("sim %s: %w", w.Name, err)
 	}
 	end := snapshot(c, sys, hier)
+	if tr := cfg.Trace; tr.Enabled() {
+		tr.Emit(trace.Event{Cycle: end.cycles, Kind: trace.KindPhase, Arg: trace.PhaseEnd})
+	}
 
 	res := &Result{
 		Workload:  w.Name,

@@ -1,0 +1,112 @@
+package trace
+
+import "sort"
+
+// BranchTotals is the Figure 12 breakdown for one branch (or the whole
+// run): how every retired prediction opportunity for a targeted branch
+// was resolved. Used predictions split into correct/incorrect, matching
+// the keys of runahead's PredictionBreakdown.
+type BranchTotals struct {
+	Inactive  uint64
+	Late      uint64
+	Throttled uint64
+	Correct   uint64
+	Incorrect uint64
+}
+
+// Total is the number of accounted predictions.
+func (t BranchTotals) Total() uint64 {
+	return t.Inactive + t.Late + t.Throttled + t.Correct + t.Incorrect
+}
+
+func (t *BranchTotals) add(cat uint64, correct bool) {
+	switch cat {
+	case CatInactive:
+		t.Inactive++
+	case CatLate:
+		t.Late++
+	case CatThrottled:
+		t.Throttled++
+	case CatUsed:
+		if correct {
+			t.Correct++
+		} else {
+			t.Incorrect++
+		}
+	}
+}
+
+// BranchAgg is a sink that rebuilds the Figure 12 category totals from
+// raw KindPQAccount events, overall and per static branch PC. It resets
+// itself when the measured phase begins (KindPhase, Arg==PhaseMeasure),
+// so after a run its totals are directly comparable with the simulator's
+// warmup-subtracted counters — the tentpole's ground-truth cross-check.
+type BranchAgg struct {
+	total     BranchTotals
+	perBranch map[uint64]*BranchTotals
+	measuring bool
+}
+
+// NewBranchAgg returns an empty aggregation sink.
+func NewBranchAgg() *BranchAgg {
+	return &BranchAgg{perBranch: make(map[uint64]*BranchTotals)}
+}
+
+// Emit folds one event into the aggregation.
+func (a *BranchAgg) Emit(ev Event) {
+	switch ev.Kind {
+	case KindPhase:
+		if ev.Arg == PhaseMeasure {
+			// Measurement starts: drop everything seen during warmup,
+			// mirroring the simulator's snapshot/diff accounting.
+			a.total = BranchTotals{}
+			clear(a.perBranch)
+			a.measuring = true
+		}
+	case KindPQAccount:
+		a.total.add(ev.Val, ev.Flag)
+		b := a.perBranch[ev.PC]
+		if b == nil {
+			b = &BranchTotals{}
+			a.perBranch[ev.PC] = b
+		}
+		b.add(ev.Val, ev.Flag)
+	}
+}
+
+// Total returns the run-wide breakdown (post-warmup when a PhaseMeasure
+// marker was seen).
+func (a *BranchAgg) Total() BranchTotals { return a.total }
+
+// Totals returns the run-wide breakdown under the same keys as
+// runahead's PredictionBreakdown, for direct comparison.
+func (a *BranchAgg) Totals() map[string]uint64 {
+	return map[string]uint64{
+		"inactive":  a.total.Inactive,
+		"late":      a.total.Late,
+		"throttled": a.total.Throttled,
+		"correct":   a.total.Correct,
+		"incorrect": a.total.Incorrect,
+	}
+}
+
+// BranchBreakdown pairs a static branch PC with its totals.
+type BranchBreakdown struct {
+	PC     uint64
+	Totals BranchTotals
+}
+
+// PerBranch returns the per-branch breakdowns sorted by PC (the map is
+// never iterated unsorted, keeping output deterministic).
+func (a *BranchAgg) PerBranch() []BranchBreakdown {
+	pcs := make([]uint64, 0, len(a.perBranch))
+	for pc := range a.perBranch { //brlint:allow determinism
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	out := make([]BranchBreakdown, len(pcs))
+	for i, pc := range pcs {
+		out[i] = BranchBreakdown{PC: pc, Totals: *a.perBranch[pc]}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package trace
+
+// Ring is a fixed-capacity in-memory sink that keeps the most recent
+// events. It is the sink of choice for tests and for post-mortem "last N
+// events before the bug" debugging: Emit never allocates after
+// construction, so attaching a Ring does not perturb allocation
+// measurements of the traced path.
+type Ring struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring sink holding the last n events (n must be > 0).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Emit records the event, evicting the oldest when full.
+func (r *Ring) Emit(ev Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Total returns the number of events ever emitted, including evicted
+// ones.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Events returns the retained events oldest-first as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		// Wrapped: the entry at next is the oldest.
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Reset discards all retained events but keeps the capacity.
+func (r *Ring) Reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.total = 0
+}
