@@ -31,9 +31,11 @@ test: build
 race:
 	$(GO) test -race ./internal/sim ./internal/runahead ./internal/experiments/...
 
-## bench-json: record the simulator-throughput and parallel-suite
-## benchmarks as committed JSON (BENCH_2.json) for cross-PR comparison.
+## bench-json: record the simulator-throughput, parallel-suite and
+## warm-cache benchmarks as committed JSON for cross-PR comparison.
+## Override BENCH_OUT to compare against a prior snapshot.
+BENCH_OUT ?= BENCH_3.json
 bench-json:
-	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup' -run '^$$' -benchtime 3x . \
-		| $(GO) run ./cmd/benchjson -o BENCH_2.json
-	@cat BENCH_2.json
+	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup|BenchmarkSuiteWarmCacheSpeedup' -run '^$$' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	@cat $(BENCH_OUT)

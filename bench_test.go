@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/workloads"
 )
@@ -340,6 +341,40 @@ func BenchmarkSuiteParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkSuiteWarmCacheSpeedup measures what the persistent run cache
+// buys: regenerating Figure 10 against a warm -cache-dir executes zero
+// simulations, so a warm pass is pure result decode plus table assembly.
+// One cold pass populates the cache outside the timer; the timed loop is
+// all warm passes, and warm_speedup reports cold-seconds over
+// warm-seconds-per-pass.
+func BenchmarkSuiteWarmCacheSpeedup(b *testing.B) {
+	o := benchOptions()
+	o.CacheDir = b.TempDir()
+
+	coldStart := time.Now()
+	s := NewExperiments(o)
+	if _, err := s.Figure10(); err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+	if s.RunsExecuted() == 0 {
+		b.Fatal("cold pass executed no simulations")
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewExperiments(o)
+		if _, err := w.Figure10(); err != nil {
+			b.Fatal(err)
+		}
+		if n := w.RunsExecuted(); n != 0 {
+			b.Fatalf("warm pass executed %d simulations, want 0", n)
+		}
+	}
+	warm := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(cold.Seconds()/warm.Seconds(), "warm_speedup")
+}
+
 func sscan(s string, v *float64) (int, error) {
-	return fmtSscan(s, v)
+	return fmt.Sscan(s, v)
 }

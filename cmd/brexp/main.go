@@ -8,6 +8,8 @@
 //	brexp -quick                  # reduced workloads/budgets (smoke test)
 //	brexp -instrs 2000000         # longer runs
 //	brexp -j 8                    # run up to 8 simulations concurrently
+//	brexp -cache-dir .brexp-cache # skip points already computed by earlier invocations
+//	brexp -cache-dir .brexp-cache -resume   # also resume points interrupted mid-run
 //
 // Trace mode runs a single simulation with the structured event tracer
 // attached and writes a Chrome trace_event JSON file (open in Perfetto or
@@ -40,6 +42,9 @@ func main() {
 		asJSON      = flag.Bool("json", false, "emit tables as JSON instead of text")
 		sweepInstrs = flag.Uint64("sweepinstrs", 0, "override Figure 13 sweep budget per run")
 		jobs        = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS); output is identical for any value")
+		cacheDir    = flag.String("cache-dir", "", "persistent run cache directory; completed simulation points are reused across invocations")
+		noCache     = flag.Bool("no-cache", false, "recompute every point, ignoring the persistent cache even when -cache-dir is set")
+		resume      = flag.Bool("resume", false, "with -cache-dir: persist mid-run snapshots and resume interrupted points on restart")
 
 		traceOut      = flag.String("trace", "", "write a Chrome trace_event JSON of one run to this path and exit")
 		traceFilter   = flag.String("trace-filter", "", "only trace events for one branch: pc=0x...")
@@ -78,6 +83,13 @@ func main() {
 		opts.SweepInstrs = *sweepInstrs
 	}
 	opts.Jobs = *jobs
+	opts.CacheDir = *cacheDir
+	opts.NoCache = *noCache
+	opts.Resume = *resume
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "brexp: -resume requires -cache-dir")
+		os.Exit(2)
+	}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

@@ -19,6 +19,9 @@
 //   - trace-guard: every trace.Tracer.Emit call sits inside an
 //     `if tr.Enabled() { ... }` block, so runs with tracing disabled never
 //     pay for event construction.
+//   - snapshot-coverage: every exported field of a struct implementing
+//     SaveState(*brstate.Writer) is referenced by its codec files, so new
+//     mutable state cannot silently be dropped from snapshots.
 //
 // Vetted findings are suppressed in place with a directive comment:
 //
@@ -87,6 +90,7 @@ func Analyzers() []*Analyzer {
 		FloatCompare(),
 		GoroutineSafety(),
 		TraceGuard(),
+		SnapshotCoverage(),
 	}
 }
 

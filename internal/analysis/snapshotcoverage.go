@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RuleSnapshotCoverage is the snapshot-coverage rule name.
+const RuleSnapshotCoverage = "snapshot-coverage"
+
+// SnapshotCoverage guards the brstate codecs: for every struct type that
+// implements SaveState(*brstate.Writer), each of its exported fields must be
+// referenced somewhere in the files that define the type's SaveState or
+// LoadState methods (its codec files). Adding an exported mutable field to a
+// snapshot-implementing component without serializing it would otherwise
+// silently produce snapshots that restore to a diverging simulation;
+// intentionally-unserialized fields (derived handles, scratch) are
+// suppressed in place with //brlint:allow snapshot-coverage.
+func SnapshotCoverage() *Analyzer {
+	return &Analyzer{
+		Name: RuleSnapshotCoverage,
+		Doc:  "exported fields of SaveState-implementing structs must be referenced by their codec",
+		Run:  runSnapshotCoverage,
+	}
+}
+
+func runSnapshotCoverage(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !pathContainsElem(pkg.Path, "internal") {
+			continue
+		}
+		diags = append(diags, snapshotCoveragePkg(prog, pkg)...)
+	}
+	return diags
+}
+
+func snapshotCoveragePkg(prog *Program, pkg *Package) []Diagnostic {
+	// codecFiles maps each snapshot-implementing named type to the files
+	// holding its SaveState/LoadState methods.
+	codecFiles := make(map[*types.Named][]*ast.File)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "SaveState" && fd.Name.Name != "LoadState" {
+				continue
+			}
+			named := receiverNamed(pkg, fd)
+			if named == nil {
+				continue
+			}
+			if fd.Name.Name == "SaveState" && !savesToBrstate(pkg, fd) {
+				continue
+			}
+			files := codecFiles[named]
+			seen := false
+			for _, f := range files {
+				if f == file {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				codecFiles[named] = append(files, file)
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	// Deterministic order: walk the package scope, not the map.
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		files, ok := codecFiles[named]
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		referenced := fieldsReferenced(pkg, named, files)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || referenced[f.Name()] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  prog.Position(f.Pos()),
+				Rule: RuleSnapshotCoverage,
+				Message: fmt.Sprintf("%s.%s implements SaveState but its exported field %s is never referenced by the codec; serialize it or suppress with //brlint:allow %s",
+					pkg.Types.Name(), named.Obj().Name(), f.Name(), RuleSnapshotCoverage),
+			})
+		}
+	}
+	return diags
+}
+
+// receiverNamed resolves a method declaration's receiver to its named type.
+func receiverNamed(pkg *Package, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// savesToBrstate reports whether a SaveState method has the brstate.Saver
+// shape: exactly one parameter of type *brstate.Writer.
+func savesToBrstate(pkg *Package, fd *ast.FuncDecl) bool {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return strings.HasSuffix(ptr.Elem().String(), "brstate.Writer")
+}
+
+// fieldsReferenced collects every field of named selected anywhere in the
+// given files (the codec files: helper save/load functions beside the
+// methods count as codec coverage).
+func fieldsReferenced(pkg *Package, named *types.Named, files []*ast.File) map[string]bool {
+	referenced := make(map[string]bool)
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pkg.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			recv := selection.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if types.Identical(recv, named) {
+				referenced[sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+	return referenced
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// snapshotFixture builds a fake brstate package plus one component package
+// under test.
+func snapshotFixture(t *testing.T, src string) *Program {
+	t.Helper()
+	return loadFixture(t,
+		fixturePkg{
+			path: "repro/internal/brstate",
+			files: map[string]string{"brstate.go": `package brstate
+type Writer struct{}
+func (w *Writer) U64(v uint64) {}
+type Reader struct{}
+func (r *Reader) U64() uint64 { return 0 }
+func (r *Reader) Err() error  { return nil }
+`},
+		},
+		fixturePkg{
+			path:  "repro/internal/comp",
+			files: map[string]string{"comp.go": src},
+		},
+	)
+}
+
+func TestSnapshotCoverageFlagsUnserializedExportedField(t *testing.T) {
+	prog := snapshotFixture(t, `package comp
+import "repro/internal/brstate"
+type Unit struct {
+	Counter uint64
+	Skipped uint64
+	hidden  uint64
+}
+func (u *Unit) SaveState(w *brstate.Writer) { w.U64(u.Counter) }
+func (u *Unit) LoadState(r *brstate.Reader) error { u.Counter = r.U64(); return r.Err() }
+`)
+	diags := diagStrings(prog, []*Analyzer{SnapshotCoverage()})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (Skipped), got %v", diags)
+	}
+	if !strings.Contains(diags[0], "Skipped") || !strings.Contains(diags[0], RuleSnapshotCoverage) {
+		t.Fatalf("diagnostic should name the Skipped field: %v", diags[0])
+	}
+}
+
+func TestSnapshotCoverageHelperInCodecFileCounts(t *testing.T) {
+	// A field serialized through a helper function in the codec file is
+	// covered; unexported fields are never checked.
+	prog := snapshotFixture(t, `package comp
+import "repro/internal/brstate"
+type Unit struct {
+	Counter uint64
+	scratch []uint64
+}
+func (u *Unit) SaveState(w *brstate.Writer) { saveGuts(w, u) }
+func saveGuts(w *brstate.Writer, u *Unit) { w.U64(u.Counter) }
+`)
+	if diags := diagStrings(prog, []*Analyzer{SnapshotCoverage()}); len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestSnapshotCoverageIgnoresNonBrstateSaveState(t *testing.T) {
+	// SaveState with an unrelated signature is not a snapshot codec.
+	prog := snapshotFixture(t, `package comp
+type Unit struct {
+	Counter uint64
+}
+func (u *Unit) SaveState(path string) {}
+`)
+	if diags := diagStrings(prog, []*Analyzer{SnapshotCoverage()}); len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestSnapshotCoverageReferenceOutsideCodecFileDoesNotCount(t *testing.T) {
+	prog := loadFixture(t,
+		fixturePkg{
+			path: "repro/internal/brstate",
+			files: map[string]string{"brstate.go": `package brstate
+type Writer struct{}
+func (w *Writer) U64(v uint64) {}
+`},
+		},
+		fixturePkg{
+			path: "repro/internal/comp",
+			files: map[string]string{
+				"comp.go": `package comp
+type Unit struct {
+	Counter uint64
+	Hits    uint64
+}
+func (u *Unit) Touch() { u.Hits++ }
+`,
+				"state.go": `package comp
+import "repro/internal/brstate"
+func (u *Unit) SaveState(w *brstate.Writer) { w.U64(u.Counter) }
+`,
+			},
+		},
+	)
+	diags := diagStrings(prog, []*Analyzer{SnapshotCoverage()})
+	if len(diags) != 1 || !strings.Contains(diags[0], "Hits") {
+		t.Fatalf("mutation outside the codec file must not count as coverage, got %v", diags)
+	}
+}
+
+func TestSnapshotCoverageAllowDirective(t *testing.T) {
+	prog := snapshotFixture(t, `package comp
+import "repro/internal/brstate"
+type Unit struct {
+	Counter uint64
+	// Derived handle, rebuilt at construction.
+	//brlint:allow snapshot-coverage
+	Handle uint64
+}
+func (u *Unit) SaveState(w *brstate.Writer) { w.U64(u.Counter) }
+`)
+	if diags := diagStrings(prog, []*Analyzer{SnapshotCoverage()}); len(diags) != 0 {
+		t.Fatalf("allow directive should suppress the finding, got %v", diags)
+	}
+}

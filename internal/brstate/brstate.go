@@ -1,0 +1,293 @@
+// Package brstate is the simulator's uniform state-serialization layer: a
+// deterministic little-endian binary codec with an explicit format version,
+// used by every stateful component to save and restore snapshots. There is
+// no reflection on the save/load path — each component enumerates its own
+// fields — so the codec stays fast enough for stride snapshots and
+// byte-stable enough to content-address (identical state always encodes to
+// identical bytes; maps are emitted in sorted key order by their owners).
+//
+// Layout. A snapshot is an envelope (magic, format version) followed by
+// named sections. Each section carries its own component version and a
+// length prefix, so a reader can verify it consumed exactly the payload and
+// skip sections it does not know:
+//
+//	"BRST" | u32 format | sections... | "TSRB"
+//	section: string name | u32 version | u64 length | payload
+//
+// Versioning policy: FormatVersion covers the envelope and primitive
+// encodings; each component bumps its own section version when its payload
+// layout changes. A loader rejects mismatched versions rather than guessing
+// (snapshots are cheap to regenerate; silent misdecoding is not).
+package brstate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// FormatVersion is the envelope/primitive-encoding version. Bump it when the
+// codec itself (not a component payload) changes incompatibly.
+const FormatVersion = 1
+
+const (
+	magicOpen  = "BRST"
+	magicClose = "TSRB"
+)
+
+// Saver is implemented by components that can serialize their mutable state.
+// Configuration and derived fields are not saved: a loader reconstructs the
+// component from the same configuration first, then restores mutable state.
+type Saver interface {
+	SaveState(w *Writer)
+}
+
+// Loader restores state previously written by the matching SaveState into an
+// identically-configured component.
+type Loader interface {
+	LoadState(r *Reader) error
+}
+
+// Writer serializes primitives into a growing buffer. Write methods never
+// fail; the buffer is handed off with Bytes.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty Writer with the envelope header written.
+func NewWriter() *Writer {
+	w := &Writer{buf: make([]byte, 0, 1<<16)}
+	w.buf = append(w.buf, magicOpen...)
+	w.U32(FormatVersion)
+	return w
+}
+
+// Bytes terminates the envelope and returns the encoded snapshot. The
+// Writer must not be used afterwards.
+func (w *Writer) Bytes() []byte {
+	w.buf = append(w.buf, magicClose...)
+	return w.buf
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// I8 writes a signed byte.
+func (w *Writer) I8(v int8) { w.U8(uint8(v)) }
+
+// U16 writes a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 writes a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as 64 bits.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes a float64 by bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes64 writes a length-prefixed byte slice.
+func (w *Writer) Bytes64(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Len writes a slice/map length (for the matching Reader.Len check).
+func (w *Writer) Len(n int) { w.U64(uint64(n)) }
+
+// Section writes one named, versioned, length-prefixed section whose payload
+// is produced by fn.
+func (w *Writer) Section(name string, version uint32, fn func(*Writer)) {
+	w.String(name)
+	w.U32(version)
+	lenAt := len(w.buf)
+	w.U64(0) // patched below
+	start := len(w.buf)
+	fn(w)
+	binary.LittleEndian.PutUint64(w.buf[lenAt:], uint64(len(w.buf)-start))
+}
+
+// Reader decodes a snapshot produced by a Writer. Errors are sticky: after
+// the first failure every read returns zero values and Err reports the
+// failure, so component loaders can decode unconditionally and check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader validates the envelope header and returns a Reader positioned at
+// the first section.
+func NewReader(b []byte) (*Reader, error) {
+	r := &Reader{buf: b}
+	if len(b) < len(magicOpen)+4+len(magicClose) {
+		return nil, fmt.Errorf("brstate: snapshot truncated (%d bytes)", len(b))
+	}
+	if string(b[:len(magicOpen)]) != magicOpen {
+		return nil, fmt.Errorf("brstate: bad magic %q", b[:len(magicOpen)])
+	}
+	if string(b[len(b)-len(magicClose):]) != magicClose {
+		return nil, fmt.Errorf("brstate: missing trailer (snapshot truncated?)")
+	}
+	r.off = len(magicOpen)
+	r.buf = b[:len(b)-len(magicClose)]
+	if v := r.U32(); v != FormatVersion {
+		return nil, fmt.Errorf("brstate: format version %d, this build reads %d", v, FormatVersion)
+	}
+	return r, nil
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("brstate: "+format, args...)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail("read of %d bytes past end (off %d, len %d)", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// I8 reads a signed byte.
+func (r *Reader) I8() int8 { return int8(r.U8()) }
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes64 reads a length-prefixed byte slice (copied out of the buffer).
+func (r *Reader) Bytes64() []byte {
+	n := r.U64()
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U64()
+	b := r.take(int(n))
+	return string(b)
+}
+
+// Len reads a length written by Writer.Len and checks it equals want,
+// failing the Reader otherwise. Components with construction-time sizing use
+// this to reject snapshots from differently-configured instances.
+func (r *Reader) Len(want int) bool {
+	n := r.U64()
+	if r.err != nil {
+		return false
+	}
+	if int(n) != want {
+		r.fail("length %d, component configured for %d", n, want)
+		return false
+	}
+	return true
+}
+
+// LenAny reads a length with no expectation (for owner-sized collections
+// such as maps and pages).
+func (r *Reader) LenAny() int { return int(r.U64()) }
+
+// Section decodes one named section, checking name and version, and verifies
+// fn consumed exactly the payload.
+func (r *Reader) Section(name string, version uint32, fn func(*Reader)) {
+	got := r.String()
+	if r.err == nil && got != name {
+		r.fail("section %q, want %q (snapshot/loader order mismatch)", got, name)
+	}
+	v := r.U32()
+	if r.err == nil && v != version {
+		r.fail("section %q version %d, this build reads %d", name, v, version)
+	}
+	n := r.U64()
+	start := r.off
+	if r.err != nil {
+		return
+	}
+	fn(r)
+	if r.err == nil && uint64(r.off-start) != n {
+		r.fail("section %q: consumed %d of %d payload bytes", name, r.off-start, n)
+	}
+}

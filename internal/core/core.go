@@ -53,11 +53,18 @@ type Core struct {
 	curFetchLine    uint64
 	haltRetired     bool
 
+	// fetchDisabled suspends fetch while Drain empties the pipeline ahead
+	// of a snapshot barrier.
+	fetchDisabled bool
+
 	tracer Tracer
 	tr     *trace.Tracer
 
 	// Stats.
-	C        *stats.Counters
+	C *stats.Counters
+	// Ctr holds dense handles into C; the values live in C, which the
+	// codec serializes.
+	//brlint:allow snapshot-coverage
 	Ctr      CoreCounters
 	Branches map[uint64]*BranchStat
 
@@ -132,6 +139,9 @@ func (c *Core) SetExtension(ext Extension) { c.ext = ext }
 // Now returns the current cycle.
 func (c *Core) Now() uint64 { return c.now }
 
+// Halted reports whether the program's halt instruction has retired.
+func (c *Core) Halted() bool { return c.haltRetired }
+
 // Run executes until maxRetired micro-ops have retired, the program halts,
 // or a safety cycle bound trips. It returns the retired count.
 func (c *Core) Run(maxRetired uint64) (uint64, error) {
@@ -144,6 +154,31 @@ func (c *Core) Run(maxRetired uint64) (uint64, error) {
 		c.Cycle()
 	}
 	return c.Ctr.Retired.Get(), nil
+}
+
+// Drain suspends fetch and cycles the machine until every in-flight
+// micro-op has retired or been squashed: the quiesce barrier ahead of a
+// snapshot. After a successful drain the ROB, reservation stations, fetch
+// queue, LSQ, store overlay and wrong-path tracker are all empty, and the
+// rename table is cleared (its surviving entries could only be stale retired
+// producers). Fetch resumes on the next Cycle.
+func (c *Core) Drain() error {
+	c.fetchDisabled = true
+	defer func() { c.fetchDisabled = false }()
+	cycleCap := c.now + 1_000_000
+	for len(c.rob) > 0 || len(c.fetchQ) > 0 || len(c.rs) > 0 {
+		if c.now > cycleCap {
+			return fmt.Errorf("core: drain did not converge by cycle %d (deadlock?)", c.now)
+		}
+		c.Cycle()
+	}
+	if c.lsqCount != 0 || c.mispFetchedUnresolved != 0 || len(c.fe.stores) != 0 {
+		return fmt.Errorf("core: drained pipeline left residue (lsq=%d wrongPath=%d stores=%d)",
+			c.lsqCount, c.mispFetchedUnresolved, len(c.fe.stores))
+	}
+	c.lastWriter = [isa.NumRegs]*DynUop{}
+	c.issueBuf = c.issueBuf[:0]
+	return nil
 }
 
 // Cycle advances the machine one clock.
@@ -531,6 +566,9 @@ func (c *Core) rename(d *DynUop) {
 // ----------------------------------------------------------------- fetch --
 
 func (c *Core) fetch() {
+	if c.fetchDisabled {
+		return
+	}
 	if c.now < c.fetchStallUntil || len(c.fetchQ) >= c.cfg.FetchQSize {
 		return
 	}

@@ -1,0 +1,66 @@
+package emu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/brstate"
+)
+
+// MemoryStateVersion is the Memory snapshot payload version.
+const MemoryStateVersion = 1
+
+// SaveState implements brstate.Saver: resident pages in ascending page
+// order, each as a raw 4KiB payload. Page iteration order never leaks into
+// the encoding.
+func (m *Memory) SaveState(w *brstate.Writer) {
+	pns := make([]uint64, 0, len(m.pages))
+	// Key gathering is order-insensitive; the sort below restores determinism.
+	for pn := range m.pages { //brlint:allow determinism
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	w.Len(len(pns))
+	for _, pn := range pns {
+		w.U64(pn)
+		w.Bytes64(m.pages[pn][:])
+	}
+}
+
+// LoadState implements brstate.Loader, replacing all resident pages.
+func (m *Memory) LoadState(r *brstate.Reader) error {
+	n := r.LenAny()
+	pages := make(map[uint64]*[pageSize]byte, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pn := r.U64()
+		raw := r.Bytes64()
+		if r.Err() != nil {
+			break
+		}
+		if len(raw) != pageSize {
+			return fmt.Errorf("emu: snapshot page %#x is %d bytes, want %d", pn, len(raw), pageSize)
+		}
+		p := new([pageSize]byte)
+		copy(p[:], raw)
+		pages[pn] = p
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.pages = pages
+	return nil
+}
+
+// SaveRegFile writes a register file.
+func SaveRegFile(w *brstate.Writer, rf *RegFile) {
+	for _, v := range rf {
+		w.U64(v)
+	}
+}
+
+// LoadRegFile reads a register file written by SaveRegFile.
+func LoadRegFile(r *brstate.Reader, rf *RegFile) {
+	for i := range rf {
+		rf[i] = r.U64()
+	}
+}

@@ -1,0 +1,64 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/brstate"
+	"repro/internal/simtest"
+)
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	// Scatter writes across several pages, including page-straddling sizes.
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 2000; i++ {
+		addr := next() % (1 << 20)
+		m.Write(addr, uint8(1<<(next()%4)), next())
+	}
+	m.LoadSegment(0x200000, []byte{1, 2, 3, 4, 5})
+
+	fresh := NewMemory()
+	simtest.RoundTrip(t, "mem", MemoryStateVersion, m.SaveState, fresh.LoadState, fresh.SaveState)
+	simtest.RequireDeepEqual(t, "memory pages", m.pages, fresh.pages)
+}
+
+func TestMemoryLoadRejectsShortPage(t *testing.T) {
+	w := brstate.NewWriter()
+	w.Section("mem", MemoryStateVersion, func(w *brstate.Writer) {
+		w.Len(1)
+		w.U64(7)
+		w.Bytes64([]byte{1, 2, 3}) // not a full page
+	})
+	r, err := brstate.NewReader(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadErr error
+	m := NewMemory()
+	r.Section("mem", MemoryStateVersion, func(r *brstate.Reader) { loadErr = m.LoadState(r) })
+	if loadErr == nil {
+		t.Fatal("expected short-page error")
+	}
+	if m.MappedPages() != 0 {
+		t.Fatal("failed load must not leave partial pages mapped")
+	}
+}
+
+func TestRegFileRoundTrip(t *testing.T) {
+	var rf RegFile
+	for i := range rf {
+		rf[i] = uint64(i) * 0x0101010101010101
+	}
+	var fresh RegFile
+	simtest.RoundTrip(t, "regs", 1,
+		func(w *brstate.Writer) { SaveRegFile(w, &rf) },
+		func(r *brstate.Reader) error { LoadRegFile(r, &fresh); return r.Err() },
+		func(w *brstate.Writer) { SaveRegFile(w, &fresh) })
+	simtest.RequireDeepEqual(t, "registers", rf, fresh)
+}

@@ -1,0 +1,285 @@
+// The persistent run cache. With Options.CacheDir set, every completed
+// simulation point is serialized to disk (content-addressed by run key plus
+// codec versions), and later suite invocations load it back instead of
+// simulating — a warm suite executes zero simulations and renders
+// byte-identical tables. With Options.Resume additionally set, in-flight
+// runs write their stride barrier snapshots to a side file, so a suite
+// killed mid-run resumes each interrupted point from its last barrier
+// instead of restarting it (see internal/sim's Resume and DESIGN.md §10).
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/brstate"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// resultStateVersion is the sim.Result payload version inside a cache entry.
+// Bump it when the Result codec below changes; old entries then hash to
+// different filenames and are simply recomputed.
+const resultStateVersion = 1
+
+// cacheEnabled reports whether the persistent cache participates in runs.
+func (s *Suite) cacheEnabled() bool {
+	return s.opts.CacheDir != "" && !s.opts.NoCache
+}
+
+// resumeActive reports whether runs should take stride barriers and persist
+// mid-run snapshots. Barriers are part of the configured run (they perturb
+// timing slightly), so this flag is folded into the cache address: entries
+// computed with and without Resume never alias.
+func (s *Suite) resumeActive() bool {
+	return s.opts.Resume && s.cacheEnabled()
+}
+
+// resumeStride picks the barrier stride for resumable runs: four snapshots
+// across the measured budget, matching between an interrupted run and its
+// uninterrupted reference because it depends only on the budget.
+func resumeStride(instrs uint64) uint64 {
+	if stride := instrs / 4; stride > 0 {
+		return stride
+	}
+	return 1
+}
+
+// cacheID content-addresses one run: the suite key plus everything that
+// changes the bytes a run produces — the envelope format, the Result codec
+// version, and the barrier stride (barriers are observable in the result).
+func (s *Suite) cacheID(key string, stride uint64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|fmt%d|res%d|stride%d", key, brstate.FormatVersion, resultStateVersion, stride)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// cachePath is the completed-result file for a run key.
+func (s *Suite) cachePath(key string, stride uint64) string {
+	return filepath.Join(s.opts.CacheDir, "run-"+s.cacheID(key, stride)+".brres")
+}
+
+// partPath is the in-flight barrier-snapshot file for a run key; it exists
+// only between a run's first barrier and its completion.
+func (s *Suite) partPath(key string, stride uint64) string {
+	return filepath.Join(s.opts.CacheDir, "run-"+s.cacheID(key, stride)+".part")
+}
+
+// cacheLoad returns the cached result for key, or ok=false on any miss —
+// including unreadable, truncated, or version-skewed entries, which are
+// treated as absent and recomputed (the store below then overwrites them).
+func (s *Suite) cacheLoad(key string, cfg sim.Config) (*sim.Result, bool) {
+	if !s.cacheEnabled() {
+		return nil, false
+	}
+	blob, err := os.ReadFile(s.cachePath(key, cfg.SnapshotStride))
+	if err != nil {
+		return nil, false
+	}
+	r, err := brstate.NewReader(blob)
+	if err != nil {
+		return nil, false
+	}
+	keyOK := false
+	r.Section("key", resultStateVersion, func(r *brstate.Reader) {
+		keyOK = r.String() == key
+	})
+	if r.Err() != nil || !keyOK {
+		return nil, false
+	}
+	var res *sim.Result
+	r.Section("result", resultStateVersion, func(r *brstate.Reader) {
+		res = loadResult(r)
+	})
+	if r.Err() != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// cacheStore writes the completed result for key atomically (temp file plus
+// rename), so a concurrent or interrupted writer can never leave a partial
+// entry behind a valid filename.
+func (s *Suite) cacheStore(key string, cfg sim.Config, res *sim.Result) error {
+	if !s.cacheEnabled() {
+		return nil
+	}
+	w := brstate.NewWriter()
+	w.Section("key", resultStateVersion, func(w *brstate.Writer) {
+		w.String(key)
+	})
+	w.Section("result", resultStateVersion, func(w *brstate.Writer) {
+		saveResult(w, res)
+	})
+	return atomicWrite(s.cachePath(key, cfg.SnapshotStride), w.Bytes())
+}
+
+// execute runs one simulation point, resuming from a persisted barrier
+// snapshot when one is available. Exactly one noteExecuted per call: a
+// resumed continuation is still an executed simulation; only a cache hit
+// (which never reaches execute) counts as zero work.
+func (s *Suite) execute(w *workloads.Workload, key string, cfg sim.Config) (*sim.Result, error) {
+	s.runner.noteExecuted()
+	if !s.resumeActive() {
+		return sim.Run(w, cfg)
+	}
+	part := s.partPath(key, cfg.SnapshotStride)
+	cfg.SnapshotFn = func(_ uint64, blob []byte) error {
+		return atomicWrite(part, blob)
+	}
+	if blob, err := os.ReadFile(part); err == nil {
+		if res, rerr := sim.Resume(w, cfg, blob); rerr == nil {
+			os.Remove(part)
+			return res, nil
+		}
+		// A stale or corrupt barrier snapshot (config drift, partial write
+		// predating atomicWrite, version skew) is not an error: fall back to
+		// running the point from reset.
+	}
+	res, err := sim.Run(w, cfg)
+	if err == nil {
+		os.Remove(part)
+	}
+	return res, err
+}
+
+// atomicWrite writes b to path via a temp file in the same directory and a
+// rename, creating the directory on first use.
+func atomicWrite(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// saveResult serializes a completed sim.Result. Maps are emitted in sorted
+// key order so identical results always encode to identical bytes.
+func saveResult(w *brstate.Writer, res *sim.Result) {
+	w.String(res.Workload)
+	w.String(res.Config)
+	w.U64(res.Cycles)
+	w.U64(res.Instrs)
+	w.U64(res.Branches)
+	w.U64(res.Mispred)
+	w.F64(res.IPC)
+	w.F64(res.MPKI)
+	w.U64(res.CoreUops)
+	w.U64(res.CoreLoads)
+	w.U64(res.DCEUops)
+	w.U64(res.DCELoads)
+	w.U64(res.Syncs)
+	w.U64(res.Chains)
+	w.F64(res.AvgChainLen)
+	w.F64(res.AGFraction)
+	w.F64(res.MergeAcc)
+	w.F64(res.MergeAccLayout)
+	w.Bool(res.Breakdown != nil)
+	stats.SaveCounterMap(w, res.Breakdown)
+	w.Len(len(res.ChainDumps))
+	for _, d := range res.ChainDumps {
+		w.String(d)
+	}
+	pcs := make([]uint64, 0, len(res.PerBranch))
+	// Key gathering is order-insensitive; the sort below restores determinism.
+	for pc := range res.PerBranch { //brlint:allow determinism
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	w.Len(len(pcs))
+	for _, pc := range pcs {
+		b := res.PerBranch[pc]
+		w.U64(b.PC)
+		w.U64(b.Execs)
+		w.U64(b.Mispred)
+	}
+	a := res.Activity
+	w.U64(a.Cycles)
+	w.U64(a.CoreUops)
+	w.U64(a.CoreLoads)
+	w.U64(a.L2Accesses)
+	w.U64(a.DRAMAccesses)
+	w.U64(a.Flushes)
+	w.U64(a.DCEUops)
+	w.U64(a.DCELoads)
+	w.U64(a.Syncs)
+	w.Bool(a.HasDCE)
+}
+
+// loadResult decodes a Result written by saveResult, preserving the nil-ness
+// of its maps and slices so a round trip is reflect.DeepEqual to the
+// original. Reader errors are sticky; the caller checks r.Err().
+func loadResult(r *brstate.Reader) *sim.Result {
+	res := &sim.Result{
+		Workload:  r.String(),
+		Config:    r.String(),
+		Cycles:    r.U64(),
+		Instrs:    r.U64(),
+		Branches:  r.U64(),
+		Mispred:   r.U64(),
+		IPC:       r.F64(),
+		MPKI:      r.F64(),
+		CoreUops:  r.U64(),
+		CoreLoads: r.U64(),
+		DCEUops:   r.U64(),
+		DCELoads:  r.U64(),
+		Syncs:     r.U64(),
+		Chains:    r.U64(),
+	}
+	res.AvgChainLen = r.F64()
+	res.AGFraction = r.F64()
+	res.MergeAcc = r.F64()
+	res.MergeAccLayout = r.F64()
+	hasBreakdown := r.Bool()
+	res.Breakdown = stats.LoadCounterMap(r)
+	if hasBreakdown && res.Breakdown == nil {
+		res.Breakdown = make(map[string]uint64)
+	}
+	nDumps := r.LenAny()
+	for i := 0; i < nDumps && r.Err() == nil; i++ {
+		res.ChainDumps = append(res.ChainDumps, r.String())
+	}
+	nPCs := r.LenAny()
+	res.PerBranch = make(map[uint64]sim.BranchResult, nPCs)
+	for i := 0; i < nPCs && r.Err() == nil; i++ {
+		b := sim.BranchResult{PC: r.U64(), Execs: r.U64(), Mispred: r.U64()}
+		if r.Err() == nil {
+			res.PerBranch[b.PC] = b
+		}
+	}
+	res.Activity = energy.RunActivity{
+		Cycles:       r.U64(),
+		CoreUops:     r.U64(),
+		CoreLoads:    r.U64(),
+		L2Accesses:   r.U64(),
+		DRAMAccesses: r.U64(),
+		Flushes:      r.U64(),
+		DCEUops:      r.U64(),
+		DCELoads:     r.U64(),
+		Syncs:        r.U64(),
+		HasDCE:       r.Bool(),
+	}
+	return res
+}

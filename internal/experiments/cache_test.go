@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runahead"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// cacheTestOptions is a single-workload budget small enough that the
+// cold-suite reference runs stay fast.
+func cacheTestOptions(dir string) Options {
+	o := QuickOptions()
+	o.Workloads = []string{"mcf_17"}
+	o.SweepWorkloads = []string{"mcf_17"}
+	o.Warmup = 10_000
+	o.Instrs = 40_000
+	o.CacheDir = dir
+	return o
+}
+
+// TestWarmCacheExecutesNothing is the persistent cache's acceptance pin: a
+// second suite over the same cache directory must execute zero simulations
+// and render byte-identical tables and Progress streams.
+func TestWarmCacheExecutesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	render := func() (string, []string, int) {
+		o := cacheTestOptions(dir)
+		var lines []string
+		o.Progress = func(l string) { lines = append(lines, l) }
+		s := NewSuite(o)
+		tab, err := s.Figure10()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String(), lines, s.RunsExecuted()
+	}
+	coldTab, coldLines, coldExec := render()
+	if coldExec == 0 {
+		t.Fatal("cold suite executed no simulations")
+	}
+	warmTab, warmLines, warmExec := render()
+	if warmExec != 0 {
+		t.Fatalf("warm suite executed %d simulations, want 0", warmExec)
+	}
+	if warmTab != coldTab {
+		t.Errorf("warm table differs from cold:\n--- cold\n%s\n--- warm\n%s", coldTab, warmTab)
+	}
+	if !reflect.DeepEqual(warmLines, coldLines) {
+		t.Errorf("warm progress stream differs from cold:\ncold: %v\nwarm: %v", coldLines, warmLines)
+	}
+}
+
+// TestNoCacheBypassesDisk pins that NoCache forces recomputation even over a
+// populated cache directory, and writes nothing new into it.
+func TestNoCacheBypassesDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	o := cacheTestOptions(dir)
+	cold := NewSuite(o)
+	if _, err := cold.run("mcf_17", vTage64(), o.Instrs); err != nil {
+		t.Fatal(err)
+	}
+	if n := cold.RunsExecuted(); n != 1 {
+		t.Fatalf("cold suite executed %d, want 1", n)
+	}
+	o.NoCache = true
+	bypass := NewSuite(o)
+	if _, err := bypass.run("mcf_17", vTage64(), o.Instrs); err != nil {
+		t.Fatal(err)
+	}
+	if n := bypass.RunsExecuted(); n != 1 {
+		t.Fatalf("NoCache suite executed %d simulations, want 1 (cache must be bypassed)", n)
+	}
+}
+
+// TestCorruptCacheEntryRecomputed pins the cache's failure mode: a
+// truncated entry is treated as a miss, recomputed, and overwritten with a
+// valid one.
+func TestCorruptCacheEntryRecomputed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	o := cacheTestOptions(dir)
+	cold := NewSuite(o)
+	ref, err := cold.run("mcf_17", vTage64(), o.Instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "run-*.brres"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected exactly 1 cache entry, got %v (%v)", entries, err)
+	}
+	blob, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again := NewSuite(o)
+	res, err := again.run("mcf_17", vTage64(), o.Instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := again.RunsExecuted(); n != 1 {
+		t.Fatalf("corrupt entry: executed %d, want 1 (recompute)", n)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("recomputed result differs from the original")
+	}
+	warm := NewSuite(o)
+	if _, err := warm.run("mcf_17", vTage64(), o.Instrs); err != nil {
+		t.Fatal(err)
+	}
+	if n := warm.RunsExecuted(); n != 0 {
+		t.Fatalf("entry was not repaired: warm suite executed %d, want 0", n)
+	}
+}
+
+// TestResultCodecRoundTrip pins the Result serialization on a real runahead
+// result (maps, chain dumps, activity, breakdown all populated) and on a
+// baseline one (nil Breakdown and ChainDumps preserved).
+func TestResultCodecRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	o := cacheTestOptions(dir)
+	s := NewSuite(o)
+	for _, v := range []variant{vTage64(), vBR("mini", runahead.Mini())} {
+		ref, err := s.run("mcf_17", v, o.Instrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.cacheLoad("mcf_17/"+v.key+"/40000", s.simConfig(v, o.Instrs))
+		if !ok {
+			t.Fatalf("%s: cache entry not loadable", v.key)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%s: decoded result differs:\nwant %+v\ngot  %+v", v.key, ref, got)
+		}
+	}
+}
+
+// TestResumeCompletesInterruptedRun emulates a suite killed mid-simulation:
+// the point's barrier snapshot is left in the cache directory exactly as
+// the interrupted run would have written it, and the restarted suite must
+// resume it to a result deep-equal to an uninterrupted suite's.
+func TestResumeCompletesInterruptedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	refOpts := cacheTestOptions(t.TempDir())
+	refOpts.Resume = true
+	refSuite := NewSuite(refOpts)
+	ref, err := refSuite.run("mcf_17", vTage64(), refOpts.Instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := cacheTestOptions(t.TempDir())
+	o.Resume = true
+	s := NewSuite(o)
+	key := "mcf_17/tage64/40000"
+	cfg := s.simConfig(vTage64(), o.Instrs)
+	if cfg.SnapshotStride == 0 {
+		t.Fatal("Resume suite configured no snapshot stride")
+	}
+	// Reproduce the interrupted run's side file: the same configuration with
+	// a capturing sink, taking a mid-run barrier blob.
+	var blobs [][]byte
+	capCfg := cfg
+	capCfg.SnapshotFn = func(_ uint64, blob []byte) error {
+		cp := make([]byte, len(blob))
+		copy(cp, blob)
+		blobs = append(blobs, cp)
+		return nil
+	}
+	w, err := workloads.ByName("mcf_17", o.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(w, capCfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) < 2 {
+		t.Fatalf("expected multiple barrier snapshots, got %d", len(blobs))
+	}
+	part := s.partPath(key, cfg.SnapshotStride)
+	if err := atomicWrite(part, blobs[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.run("mcf_17", vTage64(), o.Instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.RunsExecuted(); n != 1 {
+		t.Fatalf("resumed suite executed %d, want 1", n)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nwant %+v\ngot  %+v", ref, res)
+	}
+	if _, err := os.Stat(part); !os.IsNotExist(err) {
+		t.Errorf("completed run left its .part snapshot behind (stat err: %v)", err)
+	}
+}
+
+// TestResumeFallsBackOnBadPartFile pins that garbage in a .part file is
+// ignored: the point runs from reset and still matches the reference.
+func TestResumeFallsBackOnBadPartFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	refOpts := cacheTestOptions(t.TempDir())
+	refOpts.Resume = true
+	refSuite := NewSuite(refOpts)
+	ref, err := refSuite.run("mcf_17", vTage64(), refOpts.Instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := cacheTestOptions(t.TempDir())
+	o.Resume = true
+	s := NewSuite(o)
+	cfg := s.simConfig(vTage64(), o.Instrs)
+	part := s.partPath("mcf_17/tage64/40000", cfg.SnapshotStride)
+	if err := atomicWrite(part, []byte(strings.Repeat("junk", 64))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.run("mcf_17", vTage64(), o.Instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("fallback-from-garbage result differs from reference")
+	}
+}

@@ -43,6 +43,22 @@ type Options struct {
 	// its whole simulator object graph, and tables and Progress lines are
 	// assembled from sorted keys after the batch completes.
 	Jobs int
+	// CacheDir, when non-empty, enables the persistent run cache: every
+	// completed simulation point is written to this directory
+	// (content-addressed by run key and codec version) and reused by later
+	// suite invocations, which then execute zero simulations and render
+	// byte-identical tables. See cache.go and DESIGN.md §10.
+	CacheDir string
+	// NoCache disables the persistent cache (reads and writes) even when
+	// CacheDir is set — every point is recomputed from reset.
+	NoCache bool
+	// Resume, with CacheDir set, makes runs crash-resumable: each in-flight
+	// simulation persists stride barrier snapshots beside the cache, and a
+	// restarted suite resumes interrupted points from their last barrier.
+	// Barriers are part of the configured run, so resumable results live
+	// under their own cache address and an interrupted-then-resumed suite
+	// matches an uninterrupted one exactly.
+	Resume bool
 }
 
 // DefaultOptions returns a configuration that regenerates every figure in
@@ -138,28 +154,52 @@ func vMTageBR(cfg runahead.Config) variant {
 // run returns the (cached) result for workload wl under variant v, with the
 // given instruction budget. Safe for concurrent callers: the runner
 // executes each key at most once and blocks duplicates until the owning
-// execution completes.
+// execution completes. With Options.CacheDir set, completed points are
+// loaded from disk instead of simulated; either way the same Progress line
+// is emitted, so warm and cold suites produce identical output streams.
 func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
 	key := fmt.Sprintf("%s/%s/%d", wl, v.key, instrs)
 	return s.runner.do(key, func() (*sim.Result, error) {
+		cfg := s.simConfig(v, instrs)
+		if res, ok := s.cacheLoad(key, cfg); ok {
+			s.progress(key, runLine(wl, v.key, res))
+			return res, nil
+		}
 		w, err := workloads.ByName(wl, s.opts.Scale)
 		if err != nil {
 			return nil, err
 		}
-		cfg := sim.Config{
-			Core:      core.DefaultConfig(),
-			Predictor: v.pred,
-			BR:        v.br,
-			Warmup:    s.opts.Warmup,
-			MaxInstrs: instrs,
-		}
-		res, err := sim.Run(w, cfg)
+		res, err := s.execute(w, key, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s under %s: %w", wl, v.key, err)
 		}
-		s.progress(key, fmt.Sprintf("%-13s %-12s IPC=%.3f MPKI=%.2f", wl, v.key, res.IPC, res.MPKI))
+		if err := s.cacheStore(key, cfg, res); err != nil {
+			return nil, fmt.Errorf("experiments: %s under %s: run cache: %w", wl, v.key, err)
+		}
+		s.progress(key, runLine(wl, v.key, res))
 		return res, nil
 	})
+}
+
+// simConfig builds the simulator configuration for one point. Resumable
+// suites run with stride barriers so interrupted points can restart from
+// their last persisted snapshot.
+func (s *Suite) simConfig(v variant, instrs uint64) sim.Config {
+	cfg := sim.Config{
+		Core:      core.DefaultConfig(),
+		Predictor: v.pred,
+		BR:        v.br,
+		Warmup:    s.opts.Warmup,
+		MaxInstrs: instrs,
+	}
+	if s.resumeActive() {
+		cfg.SnapshotStride = resumeStride(instrs)
+	}
+	return cfg
+}
+
+func runLine(wl, vkey string, res *sim.Result) string {
+	return fmt.Sprintf("%-13s %-12s IPC=%.3f MPKI=%.2f", wl, vkey, res.IPC, res.MPKI)
 }
 
 // mpkiImprovement is the paper's metric: (base - br) / base * 100.
@@ -491,29 +531,36 @@ type SweepPoint struct {
 	MPKIImprovement float64
 }
 
+// sweepAxis is one Figure 13 parameter axis.
+type sweepAxis struct {
+	name   string
+	values []int
+	apply  func(*runahead.Config, int)
+}
+
+// sweepAxes are the Figure 13 per-parameter sweeps from Mini toward (and
+// one step beyond) Big. Every value must pass runahead.Config.Validate
+// when applied to Mini — pinned by TestSweepAxesValidate.
+var sweepAxes = []sweepAxis{
+	{"chain-cache", []int{16, 32, 64, 128, 256, 1024},
+		func(c *runahead.Config, v int) { c.ChainCacheSize = v }},
+	{"window", []int{16, 32, 64, 128, 256, 1024},
+		func(c *runahead.Config, v int) { c.Window = v }},
+	{"pq-entries", []int{32, 64, 128, 256, 512, 1024},
+		func(c *runahead.Config, v int) { c.QueueEntries = v }},
+	{"ceb-entries", []int{128, 256, 512, 1024, 2048},
+		func(c *runahead.Config, v int) { c.CEBEntries = v }},
+	{"hbt-entries", []int{16, 32, 64, 128, 1024},
+		func(c *runahead.Config, v int) { c.HBTEntries = v }},
+	{"max-chain-len", []int{8, 16, 32, 64, 128},
+		func(c *runahead.Config, v int) { c.MaxChainLen = v }},
+}
+
 // Figure13 sweeps the Mini configuration's parameters individually toward
 // Big, reporting MPKI improvement relative to Mini. The paper finds window
 // size and chain cache size dominate the Mini-to-Big gap.
 func (s *Suite) Figure13() (*stats.Table, []SweepPoint, error) {
-	type axis struct {
-		name   string
-		values []int
-		apply  func(*runahead.Config, int)
-	}
-	axes := []axis{
-		{"chain-cache", []int{16, 32, 64, 128, 256, 1024},
-			func(c *runahead.Config, v int) { c.ChainCacheSize = v }},
-		{"window", []int{16, 32, 64, 128, 256, 1024},
-			func(c *runahead.Config, v int) { c.Window = v }},
-		{"pq-entries", []int{32, 64, 128, 256, 512, 1024},
-			func(c *runahead.Config, v int) { c.QueueEntries = v }},
-		{"ceb-entries", []int{128, 256, 512, 1024, 2048},
-			func(c *runahead.Config, v int) { c.CEBEntries = v }},
-		{"hbt-entries", []int{16, 32, 64, 128, 1024},
-			func(c *runahead.Config, v int) { c.HBTEntries = v }},
-		{"max-chain-len", []int{8, 16, 32, 64, 128},
-			func(c *runahead.Config, v int) { c.MaxChainLen = v }},
-	}
+	axes := sweepAxes
 	t := stats.NewTable("Figure 13: MPKI improvement relative to Mini (%), per-parameter sweep",
 		"parameter", "value", "mpki-improvement-vs-mini")
 	var points []SweepPoint

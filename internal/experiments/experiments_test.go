@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/runahead"
+	"repro/internal/simtest"
 	"repro/internal/workloads"
 )
 
@@ -22,7 +24,7 @@ func TestFigure1Shape(t *testing.T) {
 	// Shape requirements from the paper: MTAGE barely improves on TAGE for
 	// these branches; dependence chains cut the rate substantially.
 	mean := tab.Rows[len(tab.Rows)-1]
-	tage, mtage, chains := parseF(t, mean[1]), parseF(t, mean[2]), parseF(t, mean[3])
+	tage, mtage, chains := simtest.ParseF(t, mean[1]), simtest.ParseF(t, mean[2]), simtest.ParseF(t, mean[3])
 	if tage < 5 {
 		t.Fatalf("hard-branch misprediction rate under TAGE is %.1f%%, too low to be 'hard'", tage)
 	}
@@ -44,7 +46,7 @@ func TestFigure2ChainLengths(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("\n%s", tab)
-	mean := parseF(t, tab.Rows[len(tab.Rows)-1][1])
+	mean := simtest.ParseF(t, tab.Rows[len(tab.Rows)-1][1])
 	if mean <= 0 || mean > 16 {
 		t.Fatalf("mean chain length %.1f outside (0,16]", mean)
 	}
@@ -61,8 +63,8 @@ func TestFigure10Headline(t *testing.T) {
 	}
 	t.Logf("\n%s", tab)
 	mean := tab.Rows[len(tab.Rows)-1]
-	mpkiTage80, mpkiMini, mpkiBig := parseF(t, mean[1]), parseF(t, mean[3]), parseF(t, mean[4])
-	ipcMini := parseF(t, mean[7])
+	mpkiTage80, mpkiMini, mpkiBig := simtest.ParseF(t, mean[1]), simtest.ParseF(t, mean[3]), simtest.ParseF(t, mean[4])
+	ipcMini := simtest.ParseF(t, mean[7])
 	// The paper's ordering: 80KB TAGE is a wash; Mini and Big cut MPKI by
 	// tens of percent; Big >= Mini (more chain-level parallelism).
 	if mpkiTage80 > 15 {
@@ -124,11 +126,18 @@ func TestOptionsWorkloadsExist(t *testing.T) {
 	}
 }
 
-func parseF(t *testing.T, s string) float64 {
-	t.Helper()
-	var v float64
-	if _, err := fmtSscan(s, &v); err != nil {
-		t.Fatalf("parse %q: %v", s, err)
+// TestSweepAxesValidate pins every Figure 13 sweep point against the
+// runahead config validator: a sweep axis probing past a sizing limit (or a
+// limit tightened below an axis) must fail here, not 50 seconds into the
+// suite run.
+func TestSweepAxesValidate(t *testing.T) {
+	for _, ax := range sweepAxes {
+		for _, v := range ax.values {
+			c := runahead.Mini()
+			ax.apply(&c, v)
+			if err := c.Validate(); err != nil {
+				t.Errorf("axis %s=%d: %v", ax.name, v, err)
+			}
+		}
 	}
-	return v
 }

@@ -1,0 +1,118 @@
+package mergepoint
+
+import "repro/internal/brstate"
+
+// StateVersion values for the merge-point section envelopes.
+const (
+	PredictorStateVersion = 1
+	LayoutStateVersion    = 1
+)
+
+func saveDestSet(w *brstate.Writer, d DestSet) {
+	w.U64(d.Regs)
+	w.U64(d.Mem)
+}
+
+func loadDestSet(r *brstate.Reader) DestSet {
+	return DestSet{Regs: r.U64(), Mem: r.U64()}
+}
+
+func saveU64s(w *brstate.Writer, s []uint64) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.U64(v)
+	}
+}
+
+func loadU64s(r *brstate.Reader, s []uint64) []uint64 {
+	n := r.LenAny()
+	s = s[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s = append(s, r.U64())
+	}
+	return s
+}
+
+// SaveState implements brstate.Saver. The predictor is fully value-typed, so
+// the entire session state machine — WPB contents, phase, dest sets and the
+// observed branch lists — is serialized; no quiesce reset is required.
+func (p *Predictor) SaveState(w *brstate.Writer) {
+	w.Len(len(p.sets))
+	for _, set := range p.sets {
+		w.Len(len(set))
+		for _, e := range set {
+			w.U64(e.pc)
+			saveDestSet(w, e.dest)
+			w.Bool(e.valid)
+			w.U64(e.lru)
+		}
+	}
+	w.U64(p.lruClock)
+	w.U8(uint8(p.ph))
+	w.U64(p.branchPC)
+	w.Bool(p.armed)
+	saveDestSet(w, p.correctDest)
+	w.Int(p.dist)
+	saveU64s(w, p.wrongBr)
+	saveU64s(w, p.correctBr)
+	saveDestSet(w, p.wrongPathEnd)
+	saveDestSet(w, p.poison)
+	w.Int(p.poisonDist)
+	p.C.SaveState(w)
+}
+
+// LoadState implements brstate.Loader.
+func (p *Predictor) LoadState(r *brstate.Reader) error {
+	if !r.Len(len(p.sets)) {
+		return r.Err()
+	}
+	for _, set := range p.sets {
+		if !r.Len(len(set)) {
+			return r.Err()
+		}
+		for i := range set {
+			set[i].pc = r.U64()
+			set[i].dest = loadDestSet(r)
+			set[i].valid = r.Bool()
+			set[i].lru = r.U64()
+		}
+	}
+	p.lruClock = r.U64()
+	p.ph = phase(r.U8())
+	p.branchPC = r.U64()
+	p.armed = r.Bool()
+	p.correctDest = loadDestSet(r)
+	p.dist = r.Int()
+	p.wrongBr = loadU64s(r, p.wrongBr)
+	p.correctBr = loadU64s(r, p.correctBr)
+	p.wrongPathEnd = loadDestSet(r)
+	p.poison = loadDestSet(r)
+	p.poisonDist = r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return p.C.LoadState(r)
+}
+
+// SaveState implements brstate.Saver.
+func (p *LayoutPredictor) SaveState(w *brstate.Writer) {
+	w.Bool(p.active)
+	w.U64(p.branchPC)
+	w.U64(p.predicted)
+	w.Bool(p.armed)
+	w.Int(p.dist)
+	p.C.SaveState(w)
+}
+
+// LoadState implements brstate.Loader.
+func (p *LayoutPredictor) LoadState(r *brstate.Reader) error {
+	p.active = r.Bool()
+	p.branchPC = r.U64()
+	p.predicted = r.U64()
+	p.armed = r.Bool()
+	p.dist = r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return p.C.LoadState(r)
+}

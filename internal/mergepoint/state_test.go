@@ -1,0 +1,177 @@
+package mergepoint
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/simtest"
+)
+
+// recordSink counts detections; the same instance backs the driven and the
+// restored predictor so sink state never skews a comparison.
+type recordSink struct{ guards, affectors int }
+
+func (s *recordSink) Guard(_, _ uint64)    { s.guards++ }
+func (s *recordSink) Affector(_, _ uint64) { s.affectors++ }
+
+// Synthetic retired/squashed micro-ops. Only the fields the predictor reads
+// are populated: the static uop, the memory address and the branch outcome.
+func aluUop(pc uint64, dst, src isa.Reg) *core.DynUop {
+	return &core.DynUop{U: &isa.Uop{PC: pc, Op: isa.OpAdd, Dst: dst, Src1: src, Src2: src}}
+}
+
+func cmpUop(pc uint64, src isa.Reg) *core.DynUop {
+	return &core.DynUop{U: &isa.Uop{PC: pc, Op: isa.OpCmp, Src1: src, UseImm: true, Imm: 1}}
+}
+
+func ldUop(pc uint64, dst isa.Reg, addr uint64) *core.DynUop {
+	return &core.DynUop{
+		U:   &isa.Uop{PC: pc, Op: isa.OpLd, Dst: dst, Src1: isa.R1, MemSize: 4},
+		Res: emu.StepResult{IsMem: true, IsLoad: true, MemAddr: addr},
+	}
+}
+
+func stUop(pc uint64, data isa.Reg, addr uint64) *core.DynUop {
+	return &core.DynUop{
+		U:   &isa.Uop{PC: pc, Op: isa.OpSt, Dst: data, Src1: isa.R1, MemSize: 4},
+		Res: emu.StepResult{IsMem: true, MemAddr: addr},
+	}
+}
+
+func brUop(pc, target, fall uint64) *core.DynUop {
+	return &core.DynUop{
+		U:        &isa.Uop{PC: pc, Op: isa.OpBr, Cond: isa.CondEQ, Imm: int64(target)},
+		IsCondBr: true,
+		Res:      emu.StepResult{IsBranch: true, IsCond: true, Target: target, FallThrou: fall},
+	}
+}
+
+// stirPredictor drives one complete session (merge found, poison pass with
+// an affectee and a self-affector candidate) and then leaves a second
+// session parked mid-search, so a snapshot captures the WPB, both dest
+// sets, the observed branch lists and a non-idle phase.
+func stirPredictor(p *Predictor) {
+	// Session 1: branch at 100, wrong path 101..105, merge point 105.
+	p.OnFlush(brUop(100, 105, 101), []*core.DynUop{
+		aluUop(101, isa.R2, isa.R3),
+		stUop(102, isa.R2, 0x8000),
+		brUop(103, 120, 104),
+		aluUop(104, isa.R4, isa.R2),
+		aluUop(105, isa.R5, isa.R6),
+	})
+	p.OnRetire(brUop(100, 105, 101)) // arms the search
+	p.OnRetire(cmpUop(110, isa.R7))
+	p.OnRetire(brUop(111, 130, 112)) // correct-path guarded branch
+	p.OnRetire(aluUop(112, isa.R8, isa.R7))
+	p.OnRetire(aluUop(105, isa.R5, isa.R6)) // merge found -> poison phase
+	p.OnRetire(cmpUop(113, isa.R2))         // poisons the flags
+	p.OnRetire(brUop(114, 140, 115))        // sources poisoned flags: affectee
+	p.OnRetire(ldUop(115, isa.R9, 0x8000))  // loads a poisoned address
+	p.OnRetire(aluUop(116, isa.R10, isa.R9))
+	p.OnRetire(brUop(100, 105, 101)) // second instance terminates the pass
+
+	// Session 2: parked mid-search with live WPB contents.
+	p.OnFlush(brUop(200, 204, 201), []*core.DynUop{
+		aluUop(201, isa.R11, isa.R12),
+		brUop(202, 210, 203),
+		stUop(203, isa.R11, 0x9000),
+	})
+	p.OnRetire(brUop(200, 204, 201)) // armed
+	p.OnRetire(aluUop(220, isa.R13, isa.R14))
+	p.OnRetire(brUop(221, 240, 222))
+	p.OnRetire(stUop(222, isa.R13, 0x9100))
+}
+
+// comparePredictors checks every serialized field of the WPB predictor.
+// The counters are compared as snapshots: restoring registers names in
+// snapshot order, so whole-struct DeepEqual would miss.
+func comparePredictors(t *testing.T, want, got *Predictor) {
+	t.Helper()
+	simtest.RequireDeepEqual(t, "WPB sets", want.sets, got.sets)
+	simtest.RequireDeepEqual(t, "lruClock", want.lruClock, got.lruClock)
+	simtest.RequireDeepEqual(t, "phase", want.ph, got.ph)
+	simtest.RequireDeepEqual(t, "branchPC", want.branchPC, got.branchPC)
+	simtest.RequireDeepEqual(t, "armed", want.armed, got.armed)
+	simtest.RequireDeepEqual(t, "correctDest", want.correctDest, got.correctDest)
+	simtest.RequireDeepEqual(t, "dist", want.dist, got.dist)
+	simtest.RequireDeepEqual(t, "wrongBr", want.wrongBr, got.wrongBr)
+	simtest.RequireDeepEqual(t, "correctBr", want.correctBr, got.correctBr)
+	simtest.RequireDeepEqual(t, "wrongPathEnd", want.wrongPathEnd, got.wrongPathEnd)
+	simtest.RequireDeepEqual(t, "poison", want.poison, got.poison)
+	simtest.RequireDeepEqual(t, "poisonDist", want.poisonDist, got.poisonDist)
+	simtest.RequireDeepEqual(t, "counters", want.C.Snapshot(), got.C.Snapshot())
+}
+
+func TestPredictorRoundTrip(t *testing.T) {
+	sink := &recordSink{}
+	p := New(DefaultConfig(), sink)
+	stirPredictor(p)
+	if p.ph == phIdle {
+		t.Fatal("stimulus must leave a session in flight")
+	}
+	if sink.guards == 0 || sink.affectors == 0 {
+		t.Fatalf("stimulus detected nothing: guards=%d affectors=%d", sink.guards, sink.affectors)
+	}
+
+	fresh := New(DefaultConfig(), sink)
+	simtest.RoundTrip(t, "mergepoint", PredictorStateVersion, p.SaveState, fresh.LoadState, fresh.SaveState)
+	comparePredictors(t, p, fresh)
+
+	// The restored predictor must finish the in-flight session identically.
+	finish := []*core.DynUop{
+		aluUop(230, isa.R15, isa.R13),
+		aluUop(203, isa.R11, isa.R11), // session 2's merge point
+		cmpUop(231, isa.R11),
+		brUop(232, 250, 233),
+		brUop(200, 204, 201),
+	}
+	for _, d := range finish {
+		p.OnRetire(d)
+		fresh.OnRetire(d)
+	}
+	comparePredictors(t, p, fresh)
+	if p.Accuracy() != fresh.Accuracy() {
+		t.Fatalf("accuracy diverged: %v vs %v", p.Accuracy(), fresh.Accuracy())
+	}
+}
+
+func TestLayoutPredictorRoundTrip(t *testing.T) {
+	p := NewLayoutPredictor(DefaultConfig().MaxMergeDist)
+	// One finished session (forward branch, merge reached) ...
+	p.OnFlush(brUop(100, 105, 101), nil)
+	p.OnRetire(brUop(100, 105, 101))
+	p.OnRetire(aluUop(101, isa.R2, isa.R3))
+	p.OnRetire(aluUop(105, isa.R4, isa.R5))
+	// ... and one backward-branch session parked mid-flight: the predicted
+	// merge is the fall-through (301), so retiring loop-body PCs keeps the
+	// session open.
+	p.OnFlush(brUop(300, 200, 301), nil)
+	p.OnRetire(brUop(300, 200, 301))
+	p.OnRetire(aluUop(210, isa.R6, isa.R7))
+	p.OnRetire(aluUop(211, isa.R6, isa.R7))
+	if !p.active {
+		t.Fatal("stimulus must leave a session in flight")
+	}
+
+	fresh := NewLayoutPredictor(DefaultConfig().MaxMergeDist)
+	simtest.RoundTrip(t, "layout", LayoutStateVersion, p.SaveState, fresh.LoadState, fresh.SaveState)
+	simtest.RequireDeepEqual(t, "active", p.active, fresh.active)
+	simtest.RequireDeepEqual(t, "branchPC", p.branchPC, fresh.branchPC)
+	simtest.RequireDeepEqual(t, "predicted", p.predicted, fresh.predicted)
+	simtest.RequireDeepEqual(t, "armed", p.armed, fresh.armed)
+	simtest.RequireDeepEqual(t, "dist", p.dist, fresh.dist)
+	simtest.RequireDeepEqual(t, "counters", p.C.Snapshot(), fresh.C.Snapshot())
+
+	// Finish the parked session in both: a second branch instance before
+	// the predicted fall-through scores the session as a miss.
+	for _, d := range []*core.DynUop{aluUop(212, isa.R8, isa.R9), brUop(300, 200, 301)} {
+		p.OnRetire(d)
+		fresh.OnRetire(d)
+	}
+	simtest.RequireDeepEqual(t, "final counters", p.C.Snapshot(), fresh.C.Snapshot())
+	if p.Accuracy() != fresh.Accuracy() {
+		t.Fatalf("accuracy diverged: %v vs %v", p.Accuracy(), fresh.Accuracy())
+	}
+}

@@ -86,13 +86,14 @@ type Config struct {
 	InOrderChainExec bool
 }
 
-// Hard sizing limits, anchored to the largest configuration the paper
-// evaluates (Table 2's Big). The Mini budget is chain length <= 16 uops, a
-// 32-entry chain cache, 16 prediction queues and a 512-entry CEB; Big
-// relaxes each of those, and these caps bound even Big.
+// Hard sizing limits, anchored to the largest point any configuration the
+// paper evaluates reaches — Table 2's Big plus the Figure 13 per-parameter
+// sweeps, which probe one axis beyond Big at a time. The Mini budget is
+// chain length <= 16 uops, a 32-entry chain cache, 16 prediction queues
+// and a 512-entry CEB; these caps bound every swept value of each axis.
 const (
 	MaxChainCacheSize = 1024
-	MaxChainLenLimit  = 64
+	MaxChainLenLimit  = 128
 	MaxNumQueues      = 64
 	MaxQueueEntries   = 1024
 	MaxHBTEntries     = 1024

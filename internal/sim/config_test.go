@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -23,6 +24,13 @@ func TestSimConfigValidate(t *testing.T) {
 	bad.MaxInstrs = 0
 	if err := bad.Validate(); err == nil {
 		t.Fatal("zero instruction budget accepted")
+	}
+
+	bad = DefaultConfig()
+	bad.Warmup = math.MaxUint64 - 5
+	bad.MaxInstrs = 10
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("Warmup+MaxInstrs overflow not rejected: %v", err)
 	}
 
 	bad = DefaultConfig()

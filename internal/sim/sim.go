@@ -61,6 +61,20 @@ type Config struct {
 	// unit. Phase markers (warmup/measure/end) bracket the run so sinks can
 	// reproduce the warmup-excluded statistics.
 	Trace *trace.Tracer
+	// SnapshotStride, when positive, inserts quiesce barriers into the run:
+	// one at the warmup/measure boundary and one every SnapshotStride retired
+	// instructions of the measured phase. At a barrier the pipeline drains
+	// and the runahead engine discards its speculative in-flight state
+	// (deterministically — the barrier is part of the configured run, applied
+	// whether or not a snapshot is written, so a run resumed from a barrier
+	// snapshot replays identically to one that ran straight through). Zero
+	// leaves the run barrier-free and bit-identical to the unsnapshotted
+	// simulator.
+	SnapshotStride uint64
+	// SnapshotFn, when set alongside SnapshotStride, receives the serialized
+	// whole-simulation snapshot at each barrier. A returned error aborts the
+	// run.
+	SnapshotFn func(retired uint64, blob []byte) error
 }
 
 // Validate checks the whole simulation configuration, including the nested
@@ -81,6 +95,10 @@ func (c Config) Validate() error {
 	}
 	if c.MaxInstrs == 0 {
 		return fmt.Errorf("sim: MaxInstrs must be positive")
+	}
+	if c.Warmup+c.MaxInstrs < c.Warmup {
+		return fmt.Errorf("sim: Warmup (%d) + MaxInstrs (%d) overflows the instruction budget",
+			c.Warmup, c.MaxInstrs)
 	}
 	return nil
 }
@@ -154,13 +172,25 @@ type Result struct {
 	Activity energy.RunActivity
 }
 
-// Run executes one simulation and returns its measured result.
-func Run(w *workloads.Workload, cfg Config) (*Result, error) {
+// machine bundles one wired simulation: workload, hierarchy, core and the
+// optional runahead system. Run builds one and drives it from reset; Resume
+// builds one and restores a barrier snapshot into it.
+type machine struct {
+	w    *workloads.Workload
+	cfg  Config
+	hier core.Hierarchy
+	bp   bpred.Predictor
+	c    *core.Core
+	sys  *runahead.System
+}
+
+func newMachine(w *workloads.Workload, cfg Config) (*machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim %s: %w", w.Name, err)
 	}
 	hier := NewHierarchy()
-	c := core.New(cfg.Core, w.Prog, newPredictor(cfg.Predictor), hier, nil)
+	bp := newPredictor(cfg.Predictor)
+	c := core.New(cfg.Core, w.Prog, bp, hier, nil)
 	var sys *runahead.System
 	if cfg.BR != nil {
 		sys = runahead.New(*cfg.BR, hier.DCache, c.Memory())
@@ -178,35 +208,122 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 		if sys != nil {
 			sys.SetTracer(tr)
 		}
+	}
+	return &machine{w: w, cfg: cfg, hier: hier, bp: bp, c: c, sys: sys}, nil
+}
+
+// barrier drains the pipeline and discards the runahead engine's speculative
+// in-flight state, leaving every component snapshot-serializable.
+func (m *machine) barrier() error {
+	if err := m.c.Drain(); err != nil {
+		return err
+	}
+	if m.sys != nil {
+		m.sys.Quiesce(m.c.Now())
+	}
+	return nil
+}
+
+// emitSnapshot serializes the machine at a barrier and hands the blob to the
+// configured sink.
+func (m *machine) emitSnapshot(boundary snap) error {
+	if m.cfg.SnapshotFn == nil {
+		return nil
+	}
+	blob, err := m.saveState(boundary)
+	if err != nil {
+		return err
+	}
+	return m.cfg.SnapshotFn(m.c.Ctr.Retired.Get(), blob)
+}
+
+// Run executes one simulation and returns its measured result.
+func Run(w *workloads.Workload, cfg Config) (*Result, error) {
+	m, err := newMachine(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tr := cfg.Trace; tr.Enabled() {
 		tr.Emit(trace.Event{Kind: trace.KindPhase, Arg: trace.PhaseWarmup})
 	}
-
 	if cfg.Warmup > 0 {
-		if _, err := c.Run(cfg.Warmup); err != nil {
+		if _, err := m.c.Run(cfg.Warmup); err != nil {
 			return nil, fmt.Errorf("sim %s: warmup: %w", w.Name, err)
 		}
 	}
-	snap := snapshot(c, sys, hier)
-	if tr := cfg.Trace; tr.Enabled() {
-		tr.Emit(trace.Event{Cycle: snap.cycles, Kind: trace.KindPhase, Arg: trace.PhaseMeasure})
+	if cfg.SnapshotStride > 0 {
+		if err := m.barrier(); err != nil {
+			return nil, fmt.Errorf("sim %s: warmup barrier: %w", w.Name, err)
+		}
 	}
-	if _, err := c.Run(snap.retired + cfg.MaxInstrs); err != nil {
-		return nil, fmt.Errorf("sim %s: %w", w.Name, err)
-	}
-	end := snapshot(c, sys, hier)
+	boundary := snapshot(m.c, m.sys, m.hier)
 	if tr := cfg.Trace; tr.Enabled() {
+		tr.Emit(trace.Event{Cycle: boundary.cycles, Kind: trace.KindPhase, Arg: trace.PhaseMeasure})
+	}
+	if cfg.SnapshotStride > 0 {
+		if err := m.emitSnapshot(boundary); err != nil {
+			return nil, fmt.Errorf("sim %s: snapshot: %w", w.Name, err)
+		}
+	}
+	return m.measure(boundary)
+}
+
+// measure drives the measured phase from the warmup boundary to the
+// instruction budget, applying stride barriers when configured, and computes
+// the result.
+func (m *machine) measure(boundary snap) (*Result, error) {
+	end := boundary.retired + m.cfg.MaxInstrs
+	if m.cfg.SnapshotStride == 0 {
+		if _, err := m.c.Run(end); err != nil {
+			return nil, fmt.Errorf("sim %s: %w", m.w.Name, err)
+		}
+		return m.finish(boundary), nil
+	}
+	stride := m.cfg.SnapshotStride
+	for {
+		cur := m.c.Ctr.Retired.Get()
+		if cur >= end || m.c.Halted() {
+			break
+		}
+		// The next stride barrier strictly after the current retired count;
+		// barriers land at boundary.retired + k*stride so both a resumed run
+		// and a straight-through run compute the same sequence.
+		target := boundary.retired + ((cur-boundary.retired)/stride+1)*stride
+		if target > end {
+			target = end
+		}
+		if _, err := m.c.Run(target); err != nil {
+			return nil, fmt.Errorf("sim %s: %w", m.w.Name, err)
+		}
+		if target < end && !m.c.Halted() {
+			if err := m.barrier(); err != nil {
+				return nil, fmt.Errorf("sim %s: stride barrier: %w", m.w.Name, err)
+			}
+			if err := m.emitSnapshot(boundary); err != nil {
+				return nil, fmt.Errorf("sim %s: snapshot: %w", m.w.Name, err)
+			}
+		}
+	}
+	return m.finish(boundary), nil
+}
+
+// finish computes the measured result against the warmup-boundary snapshot.
+func (m *machine) finish(boundary snap) *Result {
+	c, sys := m.c, m.sys
+	end := snapshot(c, sys, m.hier)
+	if tr := m.cfg.Trace; tr.Enabled() {
 		tr.Emit(trace.Event{Cycle: end.cycles, Kind: trace.KindPhase, Arg: trace.PhaseEnd})
 	}
 
 	res := &Result{
-		Workload:  w.Name,
-		Config:    configName(cfg),
-		Cycles:    end.cycles - snap.cycles,
-		Instrs:    end.retired - snap.retired,
-		Branches:  end.branches - snap.branches,
-		Mispred:   end.mispred - snap.mispred,
-		CoreUops:  end.issued - snap.issued,
-		CoreLoads: end.issuedLoads - snap.issuedLoads,
+		Workload:  m.w.Name,
+		Config:    configName(m.cfg),
+		Cycles:    end.cycles - boundary.cycles,
+		Instrs:    end.retired - boundary.retired,
+		Branches:  end.branches - boundary.branches,
+		Mispred:   end.mispred - boundary.mispred,
+		CoreUops:  end.issued - boundary.issued,
+		CoreLoads: end.issuedLoads - boundary.issuedLoads,
 		PerBranch: make(map[uint64]BranchResult),
 	}
 	res.IPC = stats.Rate(res.Instrs, res.Cycles)
@@ -214,7 +331,7 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	// Keyed map construction is insensitive to iteration order; consumers
 	// sort before rendering.
 	for pc, bs := range c.Branches { //brlint:allow determinism
-		prev := snap.perBranch[pc]
+		prev := boundary.perBranch[pc]
 		res.PerBranch[pc] = BranchResult{
 			PC:      pc,
 			Execs:   bs.Execs - prev.Execs,
@@ -226,20 +343,20 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 		Cycles:       res.Cycles,
 		CoreUops:     res.CoreUops,
 		CoreLoads:    res.CoreLoads,
-		L2Accesses:   (end.l2 - snap.l2),
-		DRAMAccesses: (end.dramR - snap.dramR) + (end.dramW - snap.dramW),
-		Flushes:      end.flushes - snap.flushes,
+		L2Accesses:   (end.l2 - boundary.l2),
+		DRAMAccesses: (end.dramR - boundary.dramR) + (end.dramW - boundary.dramW),
+		Flushes:      end.flushes - boundary.flushes,
 	}
 	if sys != nil {
-		res.DCEUops = sys.UopsIssued() - snap.dceUops
-		res.DCELoads = sys.LoadsIssued() - snap.dceLoads
-		res.Syncs = sys.Syncs() - snap.syncs
+		res.DCEUops = sys.UopsIssued() - boundary.dceUops
+		res.DCELoads = sys.LoadsIssued() - boundary.dceLoads
+		res.Syncs = sys.Syncs() - boundary.syncs
 		res.Chains = sys.C.Get("chains_installed")
 		res.AvgChainLen = sys.AvgChainLen()
 		res.AGFraction = sys.AGChainFraction()
 		res.MergeAcc = sys.MergeAccuracy()
 		res.MergeAccLayout = sys.LayoutMergeAccuracy()
-		res.Breakdown = diffBreakdown(sys.PredictionBreakdown(), snap.breakdown)
+		res.Breakdown = diffBreakdown(sys.PredictionBreakdown(), boundary.breakdown)
 		for _, ch := range sys.Chains() {
 			res.ChainDumps = append(res.ChainDumps, ch.String())
 		}
@@ -248,7 +365,7 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 		res.Activity.DCELoads = res.DCELoads
 		res.Activity.Syncs = res.Syncs
 	}
-	return res, nil
+	return res
 }
 
 func configName(cfg Config) string {

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/runahead"
+	"repro/internal/simtest"
+	"repro/internal/workloads"
+)
+
+func snapCfg(br *runahead.Config, stride uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Warmup = 10_000
+	cfg.MaxInstrs = 40_000
+	cfg.BR = br
+	cfg.SnapshotStride = stride
+	return cfg
+}
+
+func mustWorkload(t *testing.T, name string) *workloads.Workload {
+	return simtest.MustWorkload(t, name, workloads.SmallScale())
+}
+
+// runWithSnapshots runs straight through with a snapshot sink attached and
+// returns the result plus every barrier blob.
+func runWithSnapshots(t *testing.T, name string, cfg Config) (*Result, [][]byte) {
+	t.Helper()
+	var blobs [][]byte
+	cfg.SnapshotFn = func(retired uint64, blob []byte) error {
+		cp := make([]byte, len(blob))
+		copy(cp, blob)
+		blobs = append(blobs, cp)
+		return nil
+	}
+	res, err := Run(mustWorkload(t, name), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, blobs
+}
+
+// TestResumeMatchesStraightThrough is the tentpole's correctness pin: a run
+// resumed from a mid-run barrier snapshot must produce a Result deep-equal
+// to the run that went straight through.
+func TestResumeMatchesStraightThrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	mini := runahead.Mini()
+	cases := []struct {
+		label string
+		wl    string
+		br    *runahead.Config
+	}{
+		{"baseline", "mcf_17", nil},
+		{"runahead", "mcf_17", &mini},
+		{"runahead-leela", "leela_17", &mini},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.label, func(t *testing.T) {
+			cfg := snapCfg(tc.br, 10_000)
+			straight, blobs := runWithSnapshots(t, tc.wl, cfg)
+			if len(blobs) < 2 {
+				t.Fatalf("expected at least 2 barrier snapshots (warmup + stride), got %d", len(blobs))
+			}
+			resumeCfg := snapCfg(tc.br, 10_000)
+			for i, blob := range blobs {
+				resumed, err := Resume(mustWorkload(t, tc.wl), resumeCfg, blob)
+				if err != nil {
+					t.Fatalf("resume from snapshot %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(straight, resumed) {
+					t.Fatalf("resume from snapshot %d diverged:\nstraight: %+v\nresumed:  %+v",
+						i, straight, resumed)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotSinkDoesNotPerturbRun pins that writing snapshots is purely
+// observational: the same strided configuration with and without a sink
+// yields identical results, and re-running with a sink yields byte-identical
+// blobs (the property the content-addressed run cache depends on).
+func TestSnapshotSinkDoesNotPerturbRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	mini := runahead.Mini()
+	cfg := snapCfg(&mini, 15_000)
+	withSink, blobs1 := runWithSnapshots(t, "mcf_17", cfg)
+	again, blobs2 := runWithSnapshots(t, "mcf_17", cfg)
+	if !reflect.DeepEqual(withSink, again) {
+		t.Fatal("identical strided runs disagree")
+	}
+	noSink, err := Run(mustWorkload(t, "mcf_17"), snapCfg(&mini, 15_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withSink, noSink) {
+		t.Fatal("attaching a snapshot sink changed the run's result")
+	}
+	if len(blobs1) != len(blobs2) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(blobs1), len(blobs2))
+	}
+	for i := range blobs1 {
+		if string(blobs1[i]) != string(blobs2[i]) {
+			t.Fatalf("snapshot %d is not byte-stable across identical runs", i)
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedConfig pins the snapshot meta checks: a blob
+// must not restore into a machine built for a different workload or budget.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := snapCfg(nil, 20_000)
+	_, blobs := runWithSnapshots(t, "mcf_17", cfg)
+	if len(blobs) == 0 {
+		t.Fatal("no snapshots emitted")
+	}
+	if _, err := Resume(mustWorkload(t, "leela_17"), cfg, blobs[0]); err == nil {
+		t.Fatal("expected workload-mismatch error")
+	}
+	badBudget := cfg
+	badBudget.MaxInstrs++
+	if _, err := Resume(mustWorkload(t, "mcf_17"), badBudget, blobs[0]); err == nil {
+		t.Fatal("expected budget-mismatch error")
+	}
+	mini := runahead.Mini()
+	badBR := cfg
+	badBR.BR = &mini
+	if _, err := Resume(mustWorkload(t, "mcf_17"), badBR, blobs[0]); err == nil {
+		t.Fatal("expected config-name-mismatch error")
+	}
+	if _, err := Resume(mustWorkload(t, "mcf_17"), cfg, blobs[0][:len(blobs[0])-3]); err == nil {
+		t.Fatal("expected truncated-snapshot error")
+	}
+}

@@ -196,6 +196,65 @@ func TestChromeEmptyTraceStillValid(t *testing.T) {
 	}
 }
 
+// TestChromeFilteredToZeroStillValid pins the filtered-to-zero case: a PC
+// filter that matches nothing drops every event before the sink, so the
+// exporter must still close into a loadable document — the header is only
+// written lazily on the first surviving event.
+func TestChromeFilteredToZeroStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	tr := New(c)
+	tr.FilterPC(0xdead0000) // matches no emitted PC
+	tr.Emit(Event{Cycle: 5, Kind: KindBranchFetch, PC: 0x40})
+	tr.Emit(Event{Cycle: 6, Kind: KindBranchResolve, PC: 0x44})
+	tr.Emit(Event{Cycle: 7, Kind: KindCacheMiss, Addr: 0x8000, Arg: UnitL1D})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("filtered-to-zero trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("filtered-to-zero trace has %d records, want 0", len(doc.TraceEvents))
+	}
+}
+
+// TestChromeFilterKeepsPhaseMarkers: when the filter passes only the phase
+// markers, the document must contain the metadata header plus those markers.
+func TestChromeFilterKeepsPhaseMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	tr := New(c)
+	tr.FilterPC(0xdead0000)
+	tr.Emit(Event{Cycle: 1, Kind: KindPhase, Arg: PhaseWarmup})
+	tr.Emit(Event{Cycle: 2, Kind: KindBranchFetch, PC: 0x40}) // dropped
+	tr.Emit(Event{Cycle: 9, Kind: KindPhase, Arg: PhaseEnd})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var instants int
+	for _, rec := range doc.TraceEvents {
+		if rec["ph"] == "i" {
+			instants++
+			if rec["name"] != "phase" {
+				t.Fatalf("unexpected surviving event %v", rec)
+			}
+		}
+	}
+	if instants != 2 {
+		t.Fatalf("got %d phase markers, want 2", instants)
+	}
+}
+
 func TestKindAndNameHelpers(t *testing.T) {
 	for k := Kind(0); k < numKinds; k++ {
 		if k.String() == "unknown" || k.String() == "" {
