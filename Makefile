@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench-json
+.PHONY: check fmt vet lint lint-human build test race bench-json
 
 ## check: the full pre-PR gate. Everything below must pass before merging.
-check: fmt vet lint build test race
+check: fmt vet lint-human build test race
 	@echo "check: OK"
 
 fmt:
@@ -15,10 +15,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-## lint: simulator-aware static analysis (determinism, config/stat
-## invariants). See DESIGN.md §7.
+## lint: simulator-aware static analysis (call-graph reachability rules,
+## config/stat invariants; see DESIGN.md §7 and §11) against the committed
+## baseline, emitting the machine-readable report CI uploads as an
+## artifact. Exit 1 means a non-baselined finding.
+BRLINT_REPORT ?= brlint-report.json
 lint:
-	$(GO) run ./cmd/brlint ./...
+	@$(GO) run ./cmd/brlint -json -baseline brlint.baseline > $(BRLINT_REPORT); \
+	status=$$?; \
+	cat $(BRLINT_REPORT); \
+	exit $$status
+
+## lint-human: the same gate with human-readable file:line output, for the
+## local pre-PR `make check` path.
+lint-human:
+	$(GO) run ./cmd/brlint -baseline brlint.baseline ./...
 
 build:
 	$(GO) build ./...

@@ -3,22 +3,35 @@
 //
 //	file:line: rule: message
 //
-// exiting non-zero when any finding survives the //brlint:allow
-// directives. It is part of the pre-PR `make check` gate; see DESIGN.md
-// "Determinism & static analysis" for the rules and the rationale.
+// or, with -json, as a machine-readable report. It is part of the pre-PR
+// `make check` gate and the CI lint job; see DESIGN.md "Determinism & static
+// analysis" for the rules and the rationale.
 //
 // Usage:
 //
-//	go run ./cmd/brlint ./...
+//	go run ./cmd/brlint [flags] [./...]
 //
 // The package pattern argument is accepted for familiarity but the whole
-// module is always loaded: config-validate and result-agg are cross-package
-// contracts that only make sense module-wide.
+// module is always loaded: the rules are cross-package contracts (call-graph
+// reachability, config-validate, result-agg) that only make sense
+// module-wide.
+//
+// Exit codes are a contract CI relies on:
+//
+//	0 — clean (every finding fixed, suppressed or baselined)
+//	1 — at least one non-baselined finding
+//	2 — usage error or the module failed to load/type-check
+//
+// A committed baseline (-baseline brlint.baseline) lets a new rule land
+// before all of its pre-existing findings are fixed; -write-baseline
+// regenerates the file from the current findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,17 +39,52 @@ import (
 	"repro/internal/analysis"
 )
 
+const (
+	exitClean     = 0
+	exitFindings  = 1
+	exitUsageLoad = 2
+)
+
 func main() {
-	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output schema, pinned by TestJSONGolden.
+type jsonReport struct {
+	// Rules is every rule that ran, sorted.
+	Rules []string `json:"rules"`
+	// Findings are the non-baselined findings, sorted by file, line, rule.
+	Findings []jsonFinding `json:"findings"`
+	// Baselined counts findings absorbed by the -baseline file.
+	Baselined int `json:"baselined"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("brlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings; new findings still fail")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
+	dirFlag := fs.String("dir", "", "module root to analyze (default: nearest go.mod above the working directory)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsageLoad
+	}
 
 	all := analysis.Analyzers()
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
 	}
 	selected := all
 	if *rules != "" {
@@ -50,32 +98,99 @@ func main() {
 		for _, name := range strings.Split(*rules, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "brlint: unknown rule %q (known: %s)\n",
+				fmt.Fprintf(stderr, "brlint: unknown rule %q (known: %s)\n",
 					name, strings.Join(known, ", "))
-				os.Exit(2)
+				return exitUsageLoad
 			}
 			selected = append(selected, a)
 		}
 	}
 
-	root, err := moduleRoot()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "brlint:", err)
-		os.Exit(2)
+	root := *dirFlag
+	if root == "" {
+		var err error
+		root, err = moduleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "brlint:", err)
+			return exitUsageLoad
+		}
 	}
 	prog, err := analysis.Load(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "brlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "brlint:", err)
+		return exitUsageLoad
 	}
 	diags := prog.Run(selected)
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	// Report module-root-relative paths: stable across checkouts, and what
+	// the committed baseline stores.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(stderr, "brlint: -write-baseline requires -baseline <file>")
+			return exitUsageLoad
+		}
+		if err := os.WriteFile(*baselinePath, analysis.FormatBaseline(diags), 0o644); err != nil {
+			fmt.Fprintln(stderr, "brlint:", err)
+			return exitUsageLoad
+		}
+		fmt.Fprintf(stderr, "brlint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return exitClean
+	}
+
+	baselined := 0
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "brlint:", err)
+			return exitUsageLoad
+		}
+		bl, err := analysis.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "brlint: %s: %v\n", *baselinePath, err)
+			return exitUsageLoad
+		}
+		diags, baselined = bl.Filter(diags)
+	}
+
+	if *jsonOut {
+		report := jsonReport{Findings: []jsonFinding{}, Baselined: baselined}
+		for _, a := range selected {
+			report.Rules = append(report.Rules, a.Name)
+		}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "brlint:", err)
+			return exitUsageLoad
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "brlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "brlint: %d finding(s)", len(diags))
+		if baselined > 0 {
+			fmt.Fprintf(stderr, " (+%d baselined)", baselined)
+		}
+		fmt.Fprintln(stderr)
+		return exitFindings
 	}
+	if baselined > 0 {
+		fmt.Fprintf(stderr, "brlint: clean (%d baselined)\n", baselined)
+	}
+	return exitClean
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

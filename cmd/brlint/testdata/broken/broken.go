@@ -1,0 +1,9 @@
+// Package broken is a driver-test fixture that fails type checking (the
+// assignment mismatches), driving the exit-2 load-error path. It is
+// well-formed syntactically so gofmt stays quiet.
+package broken
+
+func f() int {
+	var x string = 42
+	return x
+}

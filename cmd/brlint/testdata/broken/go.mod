@@ -1,0 +1,3 @@
+module brlintfixture/broken
+
+go 1.22

@@ -1,0 +1,5 @@
+// Package clean is a driver-test fixture with no findings.
+package clean
+
+// Add is deterministic and allocation-free.
+func Add(a, b int) int { return a + b }

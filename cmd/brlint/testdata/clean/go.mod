@@ -1,0 +1,3 @@
+module brlintfixture/clean
+
+go 1.22

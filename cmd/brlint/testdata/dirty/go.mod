@@ -1,0 +1,3 @@
+module brlintfixture/dirty
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package core is a driver-test fixture with exactly two determinism
+// findings: a wall-clock read and a map iteration on the sim path.
+package core
+
+import "time"
+
+// Stamp reads the wall clock on the simulation path.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Sum iterates a map on the simulation path.
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -70,8 +70,14 @@ type Program struct {
 	// Pkgs is sorted by import path.
 	Pkgs []*Package
 
-	// allowed maps file -> line -> rule names suppressed there.
-	allowed map[string]map[int]map[string]bool
+	// allowed maps file -> line -> rule -> the directive suppressing it.
+	allowed map[string]map[int]map[string]*allowDirective
+	// directives is every //brlint:allow comment, for stale-suppression
+	// detection.
+	directives []*allowDirective
+
+	// cg is the memoized whole-program call graph (built on first use).
+	cg *CallGraph
 }
 
 // Analyzer is one named rule set run over the whole program.
@@ -91,6 +97,9 @@ func Analyzers() []*Analyzer {
 		GoroutineSafety(),
 		TraceGuard(),
 		SnapshotCoverage(),
+		HotPathAlloc(),
+		ConfigPartition(),
+		StaleSuppression(),
 	}
 }
 
@@ -110,11 +119,28 @@ func (p *Program) Position(pos token.Pos) token.Position {
 }
 
 // Run executes the analyzers, drops diagnostics suppressed by an allow
-// directive, and returns the remainder sorted by file, line and rule.
+// directive, and returns the remainder sorted by file, line and rule. When
+// the stale-suppression analyzer is among those selected, allow directives
+// that suppressed nothing (for the rules that ran) are reported too.
 func (p *Program) Run(analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	ran := make(map[string]bool)
+	staleSelected := false
 	for _, a := range analyzers {
+		if a.Name == RuleStaleSuppression {
+			staleSelected = true
+			continue
+		}
+		ran[a.Name] = true
 		for _, d := range a.Run(p) {
+			if p.allowedAt(d.Pos, d.Rule) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	if staleSelected {
+		for _, d := range p.staleDirectives(ran) {
 			if p.allowedAt(d.Pos, d.Rule) {
 				continue
 			}
@@ -136,12 +162,20 @@ func (p *Program) Run(analyzers []*Analyzer) []Diagnostic {
 
 const allowPrefix = "//brlint:allow"
 
+// allowDirective is one //brlint:allow comment, tracking which of its rules
+// actually suppressed a diagnostic so stale directives can be reported.
+type allowDirective struct {
+	pos   token.Position
+	rules []string
+	used  map[string]bool
+}
+
 // collectAllows harvests //brlint:allow directives from a parsed file. A
 // directive suppresses the named rules on its own line (trailing comment)
 // and on the line immediately below (standalone comment).
 func (p *Program) collectAllows(file *ast.File) {
 	if p.allowed == nil {
-		p.allowed = make(map[string]map[int]map[string]bool)
+		p.allowed = make(map[string]map[int]map[string]*allowDirective)
 	}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
@@ -153,19 +187,21 @@ func (p *Program) collectAllows(file *ast.File) {
 				continue
 			}
 			pos := p.Fset.Position(c.Pos())
+			dir := &allowDirective{pos: pos, rules: rules, used: make(map[string]bool)}
+			p.directives = append(p.directives, dir)
 			byLine := p.allowed[pos.Filename]
 			if byLine == nil {
-				byLine = make(map[int]map[string]bool)
+				byLine = make(map[int]map[string]*allowDirective)
 				p.allowed[pos.Filename] = byLine
 			}
 			for _, line := range []int{pos.Line, pos.Line + 1} {
 				set := byLine[line]
 				if set == nil {
-					set = make(map[string]bool)
+					set = make(map[string]*allowDirective)
 					byLine[line] = set
 				}
 				for _, r := range rules {
-					set[r] = true
+					set[r] = dir
 				}
 			}
 		}
@@ -173,7 +209,12 @@ func (p *Program) collectAllows(file *ast.File) {
 }
 
 func (p *Program) allowedAt(pos token.Position, rule string) bool {
-	return p.allowed[pos.Filename][pos.Line][rule]
+	dir := p.allowed[pos.Filename][pos.Line][rule]
+	if dir == nil {
+		return false
+	}
+	dir.used[rule] = true
+	return true
 }
 
 // pathHasSuffix reports whether an import path is, or ends with, suffix as

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed set of accepted findings, letting a new rule land
+// before every pre-existing finding is fixed: baselined findings are
+// reported separately and do not fail the build, while anything new does.
+//
+// The file format is one finding per line,
+//
+//	file: rule: message
+//
+// with '#' comments and blank lines ignored. Line numbers are deliberately
+// omitted so unrelated edits that shift a finding do not invalidate the
+// baseline; duplicate findings (same file, rule and message) are matched by
+// count, so fixing one of three identical findings still surfaces nothing
+// new but prevents a fourth from creeping in unnoticed.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey renders a diagnostic in the baseline's line format.
+func baselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos.Filename, d.Rule, d.Message)
+}
+
+// ParseBaseline reads a baseline file's contents.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{counts: make(map[string]int)}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, ": ") < 2 {
+			return nil, fmt.Errorf("baseline line %d: want \"file: rule: message\", got %q", i+1, line)
+		}
+		b.counts[line]++
+	}
+	return b, nil
+}
+
+// Filter splits diagnostics into new findings and the count absorbed by the
+// baseline. Matching is by (file, rule, message) with multiplicity.
+func (b *Baseline) Filter(diags []Diagnostic) (kept []Diagnostic, baselined int) {
+	// Not on the sim path: map iteration order is irrelevant to the
+	// count-decrement matching below.
+	remaining := make(map[string]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		k := baselineKey(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, baselined
+}
+
+// FormatBaseline renders diagnostics as baseline file contents: a header
+// comment plus one sorted line per finding (duplicates repeated).
+func FormatBaseline(diags []Diagnostic) []byte {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, baselineKey(d))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# brlint baseline: accepted pre-existing findings (one \"file: rule: message\" per line).\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/brlint -baseline brlint.baseline -write-baseline\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}

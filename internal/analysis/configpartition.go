@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+)
+
+// RuleConfigPartition is the config-partition rule name.
+const RuleConfigPartition = "config-partition"
+
+// ConfigPartition enforces the warmup/measure split of sim.Config that makes
+// warmup-snapshot sharing across sweep points safe (ROADMAP item 2a): warm up
+// a workload once, fork N configs from the snapshot — valid only when the
+// fields a sweep varies cannot influence the warmup phase. Concretely:
+//
+//   - every field of sim.Config must carry a `brphase:"warmup"` or
+//     `brphase:"measure"` struct tag declaring whether it can affect the
+//     simulation state at the warmup boundary;
+//   - warmup-phase code — functions reachable from a //brlint:phase warmup
+//     root but not from any //brlint:phase measure root — must never touch a
+//     measure-only field, no matter how many helper calls sit in between.
+//
+// A new Config field without a tag, or a warmup helper that starts reading
+// MaxInstrs, breaks the build instead of silently invalidating every shared
+// warmup snapshot.
+func ConfigPartition() *Analyzer {
+	return &Analyzer{
+		Name: RuleConfigPartition,
+		Doc:  "partition sim.Config into warmup-affecting vs measure-only fields and keep warmup code off the latter",
+		Run:  runConfigPartition,
+	}
+}
+
+func runConfigPartition(prog *Program) []Diagnostic {
+	simPkg := findPackageBySuffix(prog, "internal/sim")
+	if simPkg == nil {
+		return nil
+	}
+	obj := simPkg.Types.Scope().Lookup("Config")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	var diags []Diagnostic
+	// Tag validation + the measure-only field set.
+	measureFields := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch phase := reflect.StructTag(st.Tag(i)).Get("brphase"); phase {
+		case "warmup":
+		case "measure":
+			measureFields[f] = true
+		case "":
+			diags = append(diags, Diagnostic{
+				Pos:  prog.Position(f.Pos()),
+				Rule: RuleConfigPartition,
+				Message: fmt.Sprintf("sim.Config.%s has no brphase tag; declare it `brphase:\"warmup\"` (affects the warmup boundary state) or `brphase:\"measure\"` (safe to vary across a shared warmup snapshot)",
+					f.Name()),
+			})
+		default:
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Position(f.Pos()),
+				Rule:    RuleConfigPartition,
+				Message: fmt.Sprintf("sim.Config.%s has invalid brphase tag %q; must be \"warmup\" or \"measure\"", f.Name(), phase),
+			})
+		}
+	}
+
+	// Phase roots.
+	g := prog.CallGraph()
+	var warmupRoots, measureRoots []*Node
+	for _, n := range g.Nodes {
+		if n.Decl == nil {
+			continue
+		}
+		phase, ok := funcDirective(n.Decl, "phase")
+		if !ok {
+			continue
+		}
+		switch phase {
+		case "warmup":
+			warmupRoots = append(warmupRoots, n)
+		case "measure":
+			measureRoots = append(measureRoots, n)
+		default:
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Position(n.Decl.Pos()),
+				Rule:    RuleConfigPartition,
+				Message: fmt.Sprintf("//brlint:phase %q on %s; must be \"warmup\" or \"measure\"", phase, n.Name()),
+			})
+		}
+	}
+	if len(warmupRoots) == 0 || len(measureFields) == 0 {
+		return diags
+	}
+
+	warm := g.Reachable(warmupRoots)
+	meas := g.Reachable(measureRoots)
+	for _, n := range g.Nodes {
+		if _, ok := warm[n]; !ok {
+			continue
+		}
+		if _, ok := meas[n]; ok {
+			continue // shared phase code may read anything
+		}
+		node := n
+		n.InspectOwn(func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := node.Pkg.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			f, ok := selection.Obj().(*types.Var)
+			if !ok || !measureFields[f] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  prog.Position(sel.Pos()),
+				Rule: RuleConfigPartition,
+				Message: fmt.Sprintf("warmup-phase code reads measure-only field sim.Config.%s; a shared warmup snapshot would be invalidated by a field the partition declares inert (warmup path: %s)",
+					f.Name(), Path(warm, node)),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// findPackageBySuffix returns the module package whose import path ends with
+// the given suffix, or nil.
+func findPackageBySuffix(prog *Program, suffix string) *Package {
+	for _, pkg := range prog.Pkgs {
+		if pathHasSuffix(pkg.Path, suffix) {
+			return pkg
+		}
+	}
+	return nil
+}

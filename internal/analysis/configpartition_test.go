@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// partitionFixture builds a fake internal/sim package with the given Config
+// struct body and function bodies.
+func partitionFixture(t *testing.T, src string) *Program {
+	t.Helper()
+	return loadFixture(t, fixturePkg{
+		path:  "repro/internal/sim",
+		files: map[string]string{"sim.go": src},
+	})
+}
+
+func TestConfigPartitionFlagsUntaggedField(t *testing.T) {
+	prog := partitionFixture(t, `package sim
+type Config struct {
+	Warmup    uint64 `+"`brphase:\"warmup\"`"+`
+	MaxInstrs uint64
+}
+`)
+	diags := diagStrings(prog, []*Analyzer{ConfigPartition()})
+	if len(diags) != 1 || !strings.Contains(diags[0], "MaxInstrs has no brphase tag") {
+		t.Fatalf("want untagged-field diagnostic for MaxInstrs, got %v", diags)
+	}
+}
+
+func TestConfigPartitionFlagsInvalidTag(t *testing.T) {
+	prog := partitionFixture(t, `package sim
+type Config struct {
+	Warmup uint64 `+"`brphase:\"sometimes\"`"+`
+}
+`)
+	diags := diagStrings(prog, []*Analyzer{ConfigPartition()})
+	if len(diags) != 1 || !strings.Contains(diags[0], `invalid brphase tag "sometimes"`) {
+		t.Fatalf("want invalid-tag diagnostic, got %v", diags)
+	}
+}
+
+func TestConfigPartitionWarmupReadingMeasureField(t *testing.T) {
+	// The laundering case: the warmup root itself is clean, but a helper it
+	// calls reads a measure-only field.
+	prog := partitionFixture(t, `package sim
+type Config struct {
+	Warmup    uint64 `+"`brphase:\"warmup\"`"+`
+	MaxInstrs uint64 `+"`brphase:\"measure\"`"+`
+}
+type M struct{ cfg Config }
+
+//brlint:phase warmup
+func (m *M) warmup() { m.helper() }
+func (m *M) helper() uint64 { return m.cfg.MaxInstrs }
+
+//brlint:phase measure
+func (m *M) measure() uint64 { return m.cfg.MaxInstrs }
+`)
+	diags := diagStrings(prog, []*Analyzer{ConfigPartition()})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic (the warmup helper; measure reads are fine), got %v", diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d, "warmup-phase code reads measure-only field sim.Config.MaxInstrs") {
+		t.Fatalf("diagnostic should name the field: %v", d)
+	}
+	if !strings.Contains(d, "warmup path: sim.(M).warmup → sim.(M).helper") {
+		t.Fatalf("diagnostic should carry the warmup chain: %v", d)
+	}
+}
+
+func TestConfigPartitionSharedCodeMayReadAnything(t *testing.T) {
+	// A helper reachable from BOTH phases is shared phase code: reading a
+	// measure field there is fine (it runs during measurement too).
+	prog := partitionFixture(t, `package sim
+type Config struct {
+	Warmup    uint64 `+"`brphase:\"warmup\"`"+`
+	MaxInstrs uint64 `+"`brphase:\"measure\"`"+`
+}
+type M struct{ cfg Config }
+
+//brlint:phase warmup
+func (m *M) warmup() { m.step() }
+
+//brlint:phase measure
+func (m *M) measure() { m.step() }
+
+func (m *M) step() uint64 { return m.cfg.MaxInstrs }
+`)
+	if diags := diagStrings(prog, []*Analyzer{ConfigPartition()}); len(diags) != 0 {
+		t.Fatalf("shared phase code must not be flagged, got %v", diags)
+	}
+}
+
+func TestConfigPartitionWarmupReadingWarmupFieldClean(t *testing.T) {
+	prog := partitionFixture(t, `package sim
+type Config struct {
+	Warmup    uint64 `+"`brphase:\"warmup\"`"+`
+	MaxInstrs uint64 `+"`brphase:\"measure\"`"+`
+}
+type M struct{ cfg Config }
+
+//brlint:phase warmup
+func (m *M) warmup() uint64 { return m.cfg.Warmup }
+`)
+	if diags := diagStrings(prog, []*Analyzer{ConfigPartition()}); len(diags) != 0 {
+		t.Fatalf("warmup reading a warmup field is the point, got %v", diags)
+	}
+}
+
+func TestConfigPartitionInvalidPhaseDirective(t *testing.T) {
+	prog := partitionFixture(t, `package sim
+type Config struct {
+	Warmup uint64 `+"`brphase:\"warmup\"`"+`
+}
+
+//brlint:phase cooldown
+func f() {}
+`)
+	diags := diagStrings(prog, []*Analyzer{ConfigPartition()})
+	if len(diags) != 1 || !strings.Contains(diags[0], `//brlint:phase "cooldown"`) {
+		t.Fatalf("want invalid-phase diagnostic, got %v", diags)
+	}
+}
+
+func TestConfigPartitionNoSimPackageInert(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/other", files: map[string]string{"o.go": `package other
+func f() {}
+`}})
+	if diags := diagStrings(prog, []*Analyzer{ConfigPartition()}); len(diags) != 0 {
+		t.Fatalf("rule must be inert without internal/sim, got %v", diags)
+	}
+}

@@ -36,6 +36,19 @@ func OnSimPath(path string) bool {
 	return false
 }
 
+// simPathRoots returns every declared function in a simulation-path package —
+// the root set for the transitive rules. Function literals inside them are
+// reachable through the creator edges the call graph always adds.
+func simPathRoots(g *CallGraph) []*Node {
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if n.Lit == nil && OnSimPath(n.Pkg.Path) {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
 // Determinism flags the three classic sources of run-to-run divergence in
 // simulation-path packages:
 //
@@ -45,42 +58,77 @@ func OnSimPath(path string) bool {
 //   - top-level math/rand functions (shared global state seeded per
 //     process),
 //   - time.Now (wall-clock dependence).
+//
+// The rule is transitive: beyond the simulation-path packages themselves, it
+// walks the static call graph and flags the same primitives in any internal
+// package reachable from a simulation-path function, so a helper one or two
+// hops away cannot launder a wall-clock read or a map iteration back onto
+// the sim path.
 func Determinism() *Analyzer {
 	return &Analyzer{
 		Name: RuleDeterminism,
-		Doc:  "forbid map iteration, math/rand globals and time.Now on the simulation path",
+		Doc:  "forbid map iteration, math/rand globals and time.Now on (or reachable from) the simulation path",
 		Run:  runDeterminism,
 	}
 }
 
 func runDeterminism(prog *Program) []Diagnostic {
 	var diags []Diagnostic
+	// Direct pass: everything inside the simulation-path packages.
 	for _, pkg := range prog.Pkgs {
 		if !OnSimPath(pkg.Path) {
 			continue
 		}
 		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.RangeStmt:
-					if t := pkg.Info.TypeOf(n.X); t != nil {
-						if _, ok := t.Underlying().(*types.Map); ok {
-							diags = append(diags, Diagnostic{
-								Pos:     prog.Position(n.Pos()),
-								Rule:    RuleDeterminism,
-								Message: fmt.Sprintf("range over map %s is nondeterministic on the simulation path; iterate sorted keys", t),
-							})
-						}
-					}
-				case *ast.CallExpr:
-					if d, ok := checkDeterminismCall(prog, pkg, n); ok {
-						diags = append(diags, d)
-					}
-				}
-				return true
-			})
+			diags = append(diags, determinismScan(prog, pkg, func(fn func(ast.Node) bool) {
+				ast.Inspect(file, fn)
+			}, "")...)
 		}
 	}
+
+	// Transitive pass: functions in other internal packages reachable from
+	// the sim path through the call graph.
+	g := prog.CallGraph()
+	parent := g.Reachable(simPathRoots(g))
+	for _, n := range g.Nodes {
+		if _, ok := parent[n]; !ok {
+			continue
+		}
+		if OnSimPath(n.Pkg.Path) || !pathContainsElem(n.Pkg.Path, "internal") {
+			continue
+		}
+		via := Path(parent, n)
+		diags = append(diags, determinismScan(prog, n.Pkg, n.InspectOwn,
+			fmt.Sprintf(" (reachable from the sim path: %s)", via))...)
+	}
+	return diags
+}
+
+// determinismScan reports the determinism primitives found by one inspect
+// walk, appending suffix (the reachability chain, for transitive findings)
+// to each message.
+func determinismScan(prog *Program, pkg *Package, inspect func(func(ast.Node) bool), suffix string) []Diagnostic {
+	var diags []Diagnostic
+	inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					diags = append(diags, Diagnostic{
+						Pos:     prog.Position(n.Pos()),
+						Rule:    RuleDeterminism,
+						Message: fmt.Sprintf("range over map %s is nondeterministic on the simulation path; iterate sorted keys%s", t, suffix),
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if d, ok := checkDeterminismCall(prog, pkg, n); ok {
+				d.Message += suffix
+				diags = append(diags, d)
+			}
+		}
+		return true
+	})
 	return diags
 }
 

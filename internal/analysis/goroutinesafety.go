@@ -18,16 +18,23 @@ const RuleGoroutineSafety = "goroutine-safety"
 // sync / sync/atomic packages are allowed solely in internal/experiments —
 // the one place that schedules runs — and flagged everywhere on the
 // simulation path (see DESIGN.md §8).
+//
+// Like determinism, the rule is transitive: a helper in any internal package
+// reachable from a simulation-path function is held to the same standard, so
+// a sim-path call cannot launder a goroutine spawn or a mutex through an
+// unchecked package.
 func GoroutineSafety() *Analyzer {
 	return &Analyzer{
 		Name: RuleGoroutineSafety,
-		Doc:  "forbid go statements and sync primitives outside internal/experiments",
+		Doc:  "forbid go statements and sync primitives on (or reachable from) the simulation path",
 		Run:  runGoroutineSafety,
 	}
 }
 
 func runGoroutineSafety(prog *Program) []Diagnostic {
 	var diags []Diagnostic
+	// Direct pass: simulation-path packages, including the import-level
+	// check (a sync import there is wrong even before first use).
 	for _, pkg := range prog.Pkgs {
 		if !OnSimPath(pkg.Path) {
 			continue
@@ -47,18 +54,61 @@ func runGoroutineSafety(prog *Program) []Diagnostic {
 					})
 				}
 			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				if g, ok := n.(*ast.GoStmt); ok {
-					diags = append(diags, Diagnostic{
-						Pos:  prog.Position(g.Pos()),
-						Rule: RuleGoroutineSafety,
-						Message: "go statement on the simulation path breaks per-run determinism; " +
-							"parallelism belongs to the experiments runner",
-					})
-				}
-				return true
-			})
+			diags = append(diags, goroutineSafetyScan(prog, pkg, func(fn func(ast.Node) bool) {
+				ast.Inspect(file, fn)
+			}, "")...)
 		}
 	}
+
+	// Transitive pass: reachable helpers in other internal packages.
+	g := prog.CallGraph()
+	parent := g.Reachable(simPathRoots(g))
+	for _, n := range g.Nodes {
+		if _, ok := parent[n]; !ok {
+			continue
+		}
+		if OnSimPath(n.Pkg.Path) || !pathContainsElem(n.Pkg.Path, "internal") {
+			continue
+		}
+		via := Path(parent, n)
+		diags = append(diags, goroutineSafetyScan(prog, n.Pkg, n.InspectOwn,
+			fmt.Sprintf(" (reachable from the sim path: %s)", via))...)
+	}
+	return diags
+}
+
+// goroutineSafetyScan reports go statements and uses of sync / sync/atomic
+// found by one inspect walk. Detection is use-based (identifier resolution),
+// not import-based, so it works per-function for the transitive pass.
+func goroutineSafetyScan(prog *Program, pkg *Package, inspect func(func(ast.Node) bool), suffix string) []Diagnostic {
+	var diags []Diagnostic
+	inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			diags = append(diags, Diagnostic{
+				Pos:  prog.Position(n.Pos()),
+				Rule: RuleGoroutineSafety,
+				Message: "go statement on the simulation path breaks per-run determinism; " +
+					"parallelism belongs to the experiments runner" + suffix,
+			})
+		case *ast.SelectorExpr:
+			// sync.Mutex / atomic.AddUint64 / mu.Lock — resolve the selected
+			// object and flag anything living in sync or sync/atomic.
+			obj := pkg.Info.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if path := obj.Pkg().Path(); path == "sync" || path == "sync/atomic" {
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Position(n.Pos()),
+					Rule: RuleGoroutineSafety,
+					Message: fmt.Sprintf("use of %s.%s on the simulation path; "+
+						"simulation code must stay single-threaded — concurrency belongs to the experiments runner%s",
+						obj.Pkg().Name(), obj.Name(), suffix),
+				})
+			}
+		}
+		return true
+	})
 	return diags
 }

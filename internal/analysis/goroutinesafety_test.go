@@ -24,7 +24,10 @@ func f() {
 			src: `package runahead
 import "sync"
 var mu sync.Mutex`,
-			want: []string{`fix.go:2: goroutine-safety: import of "sync" on the simulation path`},
+			want: []string{
+				`fix.go:2: goroutine-safety: import of "sync" on the simulation path`,
+				"fix.go:3: goroutine-safety: use of sync.Mutex on the simulation path",
+			},
 		},
 		{
 			name: "sync/atomic import flagged on sim path",
@@ -32,7 +35,10 @@ var mu sync.Mutex`,
 			src: `package dram
 import "sync/atomic"
 var n atomic.Uint64`,
-			want: []string{`fix.go:2: goroutine-safety: import of "sync/atomic" on the simulation path`},
+			want: []string{
+				`fix.go:2: goroutine-safety: import of "sync/atomic" on the simulation path`,
+				"fix.go:3: goroutine-safety: use of atomic.Uint64 on the simulation path",
+			},
 		},
 		{
 			name: "go statement and sync allowed in experiments",
@@ -73,6 +79,7 @@ func f() {
 }`,
 			want: []string{
 				`fix.go:2: goroutine-safety: import of "sync"`,
+				"fix.go:3: goroutine-safety: use of sync.Mutex",
 				"fix.go:5: goroutine-safety: go statement",
 			},
 		},

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// RuleHotPathAlloc is the hot-path-alloc rule name (for allow directives).
+const RuleHotPathAlloc = "hot-path-alloc"
+
+// HotPathAlloc enforces the free-list discipline on the cycle-critical code:
+// functions reachable (via the static call graph) from a declaration carrying
+// a //brlint:hotpath directive — the core cycle loop, fetch/decode/retire,
+// the DCE step, predictor lookup/update — must not allocate per call. The
+// rule flags, inside every reachable function:
+//
+//   - new(T) and make(...) — direct heap allocation,
+//   - append(...) — may grow the backing array; preallocate or pool,
+//   - &T{...} composite literals — escape in almost every hot-path use,
+//   - slice and map literals — always allocate,
+//   - capturing func literals — a closure cell per call,
+//   - explicit conversions to interface types — boxing allocates.
+//
+// Allocations that are genuinely once-per-run (construction, reconfiguration)
+// are suppressed in place with //brlint:allow hot-path-alloc; steady-state
+// zero-allocation behaviour is separately pinned by the AllocsPerRun tests.
+func HotPathAlloc() *Analyzer {
+	return &Analyzer{
+		Name: RuleHotPathAlloc,
+		Doc:  "forbid allocation in functions reachable from //brlint:hotpath roots",
+		Run:  runHotPathAlloc,
+	}
+}
+
+func runHotPathAlloc(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if n.Decl == nil {
+			continue
+		}
+		if _, ok := funcDirective(n.Decl, "hotpath"); ok {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	parent := g.Reachable(roots)
+	var diags []Diagnostic
+	for _, n := range g.Nodes {
+		if _, ok := parent[n]; !ok {
+			continue
+		}
+		suffix := fmt.Sprintf(" (hot path: %s)", Path(parent, n))
+		diags = append(diags, hotPathAllocScan(prog, n, suffix)...)
+	}
+	return diags
+}
+
+// hotPathAllocScan reports the allocation sites in one node's own body.
+func hotPathAllocScan(prog *Program, n *Node, suffix string) []Diagnostic {
+	pkg := n.Pkg
+	var diags []Diagnostic
+	flag := func(pos ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:     prog.Position(pos.Pos()),
+			Rule:    RuleHotPathAlloc,
+			Message: msg + suffix,
+		})
+	}
+	n.InspectOwn(func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "new":
+						flag(x, "new allocates on the hot path; pool or preallocate")
+					case "make":
+						flag(x, "make allocates on the hot path; pool or preallocate")
+					case "append":
+						flag(x, "append may grow its backing array on the hot path; preallocate capacity or pool")
+					}
+					return true
+				}
+			}
+			// Explicit conversion to an interface type boxes the operand.
+			if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() && types.IsInterface(tv.Type) && len(x.Args) == 1 {
+				if opT := pkg.Info.TypeOf(x.Args[0]); opT != nil && !types.IsInterface(opT) {
+					if b, ok := opT.(*types.Basic); !ok || b.Kind() != types.UntypedNil {
+						flag(x, fmt.Sprintf("conversion to interface %s boxes its operand on the hot path", tv.Type))
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					flag(x, "&composite literal escapes to the heap on the hot path; pool or reuse a struct")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pkg.Info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					flag(x, "slice literal allocates on the hot path; preallocate or pool")
+				case *types.Map:
+					flag(x, "map literal allocates on the hot path; preallocate or pool")
+				}
+			}
+		case *ast.FuncLit:
+			if x != n.Lit && litCaptures(pkg, x) {
+				flag(x, "capturing func literal allocates a closure on the hot path; hoist it or use a method value on preallocated state")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// litCaptures reports whether a func literal closes over variables declared
+// outside it (non-capturing literals are compiled to static functions and do
+// not allocate).
+func litCaptures(pkg *Package, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil {
+			return true
+		}
+		if v.Parent() == pkg.Types.Scope() || v.Parent() == types.Universe {
+			return true // package-level or universe: not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+			return false
+		}
+		return true
+	})
+	return captures
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPathAllocFlagsEachAllocationKind(t *testing.T) {
+	cases := []struct {
+		name string
+		body string // statements inside the reachable helper
+		want string // message substring
+	}{
+		{"new", "_ = new(int)", "new allocates"},
+		{"make", "_ = make([]int, 8)", "make allocates"},
+		{"append", "var s []int; s = append(s, 1); _ = s", "append may grow"},
+		{"addr composite literal", "type t struct{ x int }; _ = &t{x: 1}", "&composite literal escapes"},
+		{"slice literal", "_ = []int{1, 2}", "slice literal allocates"},
+		{"map literal", "_ = map[int]int{1: 2}", "map literal allocates"},
+		{"interface conversion", "var x int; _ = any(x)", "boxes its operand"},
+		{"capturing closure", "x := 1; f := func() int { return x }; _ = f()", "capturing func literal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := loadFixture(t, fixturePkg{path: "repro/internal/app", files: map[string]string{"app.go": `package app
+//brlint:hotpath
+func Cycle() { helper() }
+func helper() {
+	` + tc.body + `
+}
+`}})
+			diags := diagStrings(prog, []*Analyzer{HotPathAlloc()})
+			if len(diags) == 0 {
+				t.Fatalf("want a diagnostic containing %q, got none", tc.want)
+			}
+			if !strings.Contains(diags[0], tc.want) {
+				t.Fatalf("want %q in %v", tc.want, diags[0])
+			}
+			if !strings.Contains(diags[0], "hot path: app.Cycle → app.helper") {
+				t.Fatalf("diagnostic should carry the hot-path chain: %v", diags[0])
+			}
+		})
+	}
+}
+
+// TestHotPathAllocOnlyReachableFunctions: the same allocation in a function
+// no hotpath root reaches is not flagged.
+func TestHotPathAllocOnlyReachableFunctions(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/app", files: map[string]string{"app.go": `package app
+//brlint:hotpath
+func Cycle() {}
+func coldSetup() { _ = make([]int, 1024) }
+`}})
+	if diags := diagStrings(prog, []*Analyzer{HotPathAlloc()}); len(diags) != 0 {
+		t.Fatalf("cold function must not be flagged, got %v", diags)
+	}
+}
+
+// TestHotPathAllocNoRootsNoFindings: without any //brlint:hotpath directive
+// the rule is inert.
+func TestHotPathAllocNoRootsNoFindings(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/app", files: map[string]string{"app.go": `package app
+func f() { _ = make([]int, 8) }
+`}})
+	if diags := diagStrings(prog, []*Analyzer{HotPathAlloc()}); len(diags) != 0 {
+		t.Fatalf("want no findings without roots, got %v", diags)
+	}
+}
+
+// TestHotPathAllocNonCapturingClosureClean: a literal that closes over
+// nothing compiles to a static function and must not be flagged.
+func TestHotPathAllocNonCapturingClosureClean(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/app", files: map[string]string{"app.go": `package app
+//brlint:hotpath
+func Cycle() {
+	f := func(a int) int { return a + 1 }
+	_ = f(1)
+}
+`}})
+	if diags := diagStrings(prog, []*Analyzer{HotPathAlloc()}); len(diags) != 0 {
+		t.Fatalf("non-capturing literal must not be flagged, got %v", diags)
+	}
+}
+
+// TestHotPathAllocAllowSuppresses: an in-place directive clears a vetted
+// cold-path allocation (e.g. a pool refill).
+func TestHotPathAllocAllowSuppresses(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/app", files: map[string]string{"app.go": `package app
+//brlint:hotpath
+func Cycle() {
+	_ = make([]int, 8) //brlint:allow hot-path-alloc
+}
+`}})
+	if diags := diagStrings(prog, []*Analyzer{HotPathAlloc()}); len(diags) != 0 {
+		t.Fatalf("allow directive should suppress, got %v", diags)
+	}
+}
+
+// TestHotPathAllocThroughInterfaceDispatch: an allocation behind an
+// interface call from a hot root is still reached — the dispatch fans out to
+// the implementing method.
+func TestHotPathAllocThroughInterfaceDispatch(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/app", files: map[string]string{"app.go": `package app
+type Unit interface{ Tick() }
+type DCE struct{}
+func (d *DCE) Tick() { _ = make([]int, 4) }
+var units []Unit
+//brlint:hotpath
+func Cycle() {
+	for _, u := range units {
+		u.Tick()
+	}
+}
+`}})
+	diags := diagStrings(prog, []*Analyzer{HotPathAlloc()})
+	if len(diags) != 1 || !strings.Contains(diags[0], "app.Cycle → app.(DCE).Tick") {
+		t.Fatalf("want one finding reached through interface dispatch, got %v", diags)
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -11,33 +12,95 @@ import (
 const RuleSnapshotCoverage = "snapshot-coverage"
 
 // SnapshotCoverage guards the brstate codecs: for every struct type that
-// implements SaveState(*brstate.Writer), each of its exported fields must be
-// referenced somewhere in the files that define the type's SaveState or
-// LoadState methods (its codec files). Adding an exported mutable field to a
-// snapshot-implementing component without serializing it would otherwise
-// silently produce snapshots that restore to a diverging simulation;
-// intentionally-unserialized fields (derived handles, scratch) are
-// suppressed in place with //brlint:allow snapshot-coverage.
+// implements SaveState(*brstate.Writer), each of its exported fields — and
+// each unexported field mutated anywhere on the simulation path (directly or
+// through call-graph-reachable helpers) — must be referenced somewhere in
+// the files that define the type's SaveState or LoadState methods (its codec
+// files). Adding a mutable field to a snapshot-implementing component
+// without serializing it would otherwise silently produce snapshots that
+// restore to a diverging simulation; intentionally-unserialized fields
+// (derived handles, scratch) are suppressed in place with
+// //brlint:allow snapshot-coverage.
 func SnapshotCoverage() *Analyzer {
 	return &Analyzer{
 		Name: RuleSnapshotCoverage,
-		Doc:  "exported fields of SaveState-implementing structs must be referenced by their codec",
+		Doc:  "fields of SaveState-implementing structs mutated on the sim path must be referenced by their codec",
 		Run:  runSnapshotCoverage,
 	}
 }
 
 func runSnapshotCoverage(prog *Program) []Diagnostic {
+	mutated := simPathMutatedFields(prog)
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		if !pathContainsElem(pkg.Path, "internal") {
 			continue
 		}
-		diags = append(diags, snapshotCoveragePkg(prog, pkg)...)
+		diags = append(diags, snapshotCoveragePkg(prog, pkg, mutated)...)
 	}
 	return diags
 }
 
-func snapshotCoveragePkg(prog *Program, pkg *Package) []Diagnostic {
+// simPathMutatedFields collects every struct field assigned, incremented or
+// address-taken inside a function on (or call-graph-reachable from) the
+// simulation path. These are the fields whose values can change between
+// snapshot and restore.
+func simPathMutatedFields(prog *Program) map[*types.Var]bool {
+	g := prog.CallGraph()
+	reach := g.Reachable(simPathRoots(g))
+	mutated := make(map[*types.Var]bool)
+	record := func(pkg *Package, expr ast.Expr) {
+		// Peel index/deref/paren layers: x.F[i] = v and *x.F = v both mutate
+		// state held through field F.
+		for {
+			switch e := expr.(type) {
+			case *ast.IndexExpr:
+				expr = e.X
+			case *ast.StarExpr:
+				expr = e.X
+			case *ast.ParenExpr:
+				expr = e.X
+			default:
+				sel, ok := expr.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return
+				}
+				if f, ok := selection.Obj().(*types.Var); ok {
+					mutated[f] = true
+				}
+				return
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if _, ok := reach[n]; !ok {
+			continue
+		}
+		node := n
+		n.InspectOwn(func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					record(node.Pkg, lhs)
+				}
+			case *ast.IncDecStmt:
+				record(node.Pkg, x.X)
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					record(node.Pkg, x.X)
+				}
+			}
+			return true
+		})
+	}
+	return mutated
+}
+
+func snapshotCoveragePkg(prog *Program, pkg *Package, mutated map[*types.Var]bool) []Diagnostic {
 	// codecFiles maps each snapshot-implementing named type to the files
 	// holding its SaveState/LoadState methods.
 	codecFiles := make(map[*types.Named][]*ast.File)
@@ -94,15 +157,25 @@ func snapshotCoveragePkg(prog *Program, pkg *Package) []Diagnostic {
 		referenced := fieldsReferenced(pkg, named, files)
 		for i := 0; i < st.NumFields(); i++ {
 			f := st.Field(i)
-			if !f.Exported() || referenced[f.Name()] {
+			if referenced[f.Name()] {
 				continue
 			}
-			diags = append(diags, Diagnostic{
-				Pos:  prog.Position(f.Pos()),
-				Rule: RuleSnapshotCoverage,
-				Message: fmt.Sprintf("%s.%s implements SaveState but its exported field %s is never referenced by the codec; serialize it or suppress with //brlint:allow %s",
-					pkg.Types.Name(), named.Obj().Name(), f.Name(), RuleSnapshotCoverage),
-			})
+			switch {
+			case f.Exported():
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Position(f.Pos()),
+					Rule: RuleSnapshotCoverage,
+					Message: fmt.Sprintf("%s.%s implements SaveState but its exported field %s is never referenced by the codec; serialize it or suppress with //brlint:allow %s",
+						pkg.Types.Name(), named.Obj().Name(), f.Name(), RuleSnapshotCoverage),
+				})
+			case mutated[f]:
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Position(f.Pos()),
+					Rule: RuleSnapshotCoverage,
+					Message: fmt.Sprintf("%s.%s implements SaveState but its field %s, mutated on the sim path, is never referenced by the codec; serialize it or suppress with //brlint:allow %s",
+						pkg.Types.Name(), named.Obj().Name(), f.Name(), RuleSnapshotCoverage),
+				})
+			}
 		}
 	}
 	return diags

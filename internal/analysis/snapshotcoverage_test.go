@@ -49,7 +49,8 @@ func (u *Unit) LoadState(r *brstate.Reader) error { u.Counter = r.U64(); return 
 
 func TestSnapshotCoverageHelperInCodecFileCounts(t *testing.T) {
 	// A field serialized through a helper function in the codec file is
-	// covered; unexported fields are never checked.
+	// covered; unexported fields not mutated on the sim path are not
+	// checked.
 	prog := snapshotFixture(t, `package comp
 import "repro/internal/brstate"
 type Unit struct {
@@ -122,5 +123,45 @@ func (u *Unit) SaveState(w *brstate.Writer) { w.U64(u.Counter) }
 `)
 	if diags := diagStrings(prog, []*Analyzer{SnapshotCoverage()}); len(diags) != 0 {
 		t.Fatalf("allow directive should suppress the finding, got %v", diags)
+	}
+}
+
+// TestSnapshotCoverageFlagsMutatedUnexportedField: an unexported field
+// mutated by code on (or reachable from) the simulation path must be
+// serialized too — the old exported-only check missed exactly this.
+func TestSnapshotCoverageFlagsMutatedUnexportedField(t *testing.T) {
+	prog := loadFixture(t,
+		fixturePkg{
+			path: "repro/internal/brstate",
+			files: map[string]string{"brstate.go": `package brstate
+type Writer struct{}
+func (w *Writer) U64(v uint64) {}
+`},
+		},
+		fixturePkg{
+			path: "repro/internal/core",
+			files: map[string]string{
+				"core.go": `package core
+type Unit struct {
+	Counter uint64
+	clock   uint64 // mutated every cycle, missing from the codec
+	scratch uint64 // never mutated on the sim path: not checked
+}
+func (u *Unit) Cycle() { u.tick() }
+func (u *Unit) tick()  { u.clock++ }
+`,
+				"state.go": `package core
+import "repro/internal/brstate"
+func (u *Unit) SaveState(w *brstate.Writer) { w.U64(u.Counter) }
+`,
+			},
+		},
+	)
+	diags := diagStrings(prog, []*Analyzer{SnapshotCoverage()})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (clock), got %v", diags)
+	}
+	if !strings.Contains(diags[0], "clock") || !strings.Contains(diags[0], "mutated on the sim path") {
+		t.Fatalf("diagnostic should name the mutated unexported field: %v", diags[0])
 	}
 }

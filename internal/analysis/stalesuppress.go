@@ -1,0 +1,58 @@
+package analysis
+
+import "fmt"
+
+// RuleStaleSuppression is the stale-suppression rule name.
+const RuleStaleSuppression = "stale-suppression"
+
+// StaleSuppression reports //brlint:allow directives that no longer suppress
+// any diagnostic: once the underlying finding is fixed (or the rule's scope
+// changes), a leftover directive silently disables the rule at that site for
+// whatever code lands there next. It also flags directives naming rules
+// brlint does not know, which usually means a typo that never suppressed
+// anything in the first place.
+//
+// The check is evaluated against the rules that actually ran, so a partial
+// `-rules` invocation never reports a directive for an unselected rule as
+// stale. The analyzer itself carries no Run body — Program.Run computes the
+// findings after the other analyzers have recorded which directives fired.
+func StaleSuppression() *Analyzer {
+	return &Analyzer{
+		Name: RuleStaleSuppression,
+		Doc:  "report //brlint:allow directives that suppress no diagnostic",
+		Run:  func(*Program) []Diagnostic { return nil },
+	}
+}
+
+// staleDirectives returns a finding per (directive, rule) pair where the rule
+// ran this invocation but the directive suppressed none of its diagnostics.
+func (p *Program) staleDirectives(ran map[string]bool) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range p.directives {
+		for _, r := range dir.rules {
+			if !known[r] {
+				out = append(out, Diagnostic{
+					Pos:     dir.pos,
+					Rule:    RuleStaleSuppression,
+					Message: fmt.Sprintf("//brlint:allow names unknown rule %q", r),
+				})
+				continue
+			}
+			if !ran[r] {
+				continue
+			}
+			if !dir.used[r] {
+				out = append(out, Diagnostic{
+					Pos:     dir.pos,
+					Rule:    RuleStaleSuppression,
+					Message: fmt.Sprintf("//brlint:allow %s suppresses no diagnostic; remove the stale directive", r),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaleSuppressionFlagsUnusedDirective(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+func f() {
+	x := 1 //brlint:allow determinism
+	_ = x
+}
+`}})
+	diags := diagStrings(prog, []*Analyzer{Determinism(), StaleSuppression()})
+	if len(diags) != 1 || !strings.Contains(diags[0], "suppresses no diagnostic") {
+		t.Fatalf("want one stale-directive finding, got %v", diags)
+	}
+}
+
+func TestStaleSuppressionUsedDirectiveClean(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+import "time"
+func f() int64 {
+	return time.Now().UnixNano() //brlint:allow determinism
+}
+`}})
+	if diags := diagStrings(prog, []*Analyzer{Determinism(), StaleSuppression()}); len(diags) != 0 {
+		t.Fatalf("directive that suppresses a finding is not stale, got %v", diags)
+	}
+}
+
+func TestStaleSuppressionFlagsUnknownRule(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+func f() {
+	x := 1 //brlint:allow determinsm
+	_ = x
+}
+`}})
+	diags := diagStrings(prog, []*Analyzer{StaleSuppression()})
+	if len(diags) != 1 || !strings.Contains(diags[0], `unknown rule "determinsm"`) {
+		t.Fatalf("want unknown-rule finding for the typo, got %v", diags)
+	}
+}
+
+// TestStaleSuppressionScopedToRanRules: with -rules selecting a subset, a
+// directive for an unselected rule must not be reported stale — the rule
+// never had the chance to use it.
+func TestStaleSuppressionScopedToRanRules(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+import "time"
+func f() int64 {
+	return time.Now().UnixNano() //brlint:allow determinism
+}
+`}})
+	// Determinism is NOT selected: its directive is unused this run, but
+	// must not be called stale.
+	if diags := diagStrings(prog, []*Analyzer{TraceGuard(), StaleSuppression()}); len(diags) != 0 {
+		t.Fatalf("directive for unselected rule must not be stale, got %v", diags)
+	}
+}
+
+// TestStaleSuppressionMultiRuleDirective: one directive naming two rules is
+// reported per stale rule, not per directive.
+func TestStaleSuppressionMultiRuleDirective(t *testing.T) {
+	prog := loadFixture(t, fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+import "time"
+func f() int64 {
+	return time.Now().UnixNano() //brlint:allow determinism goroutine-safety
+}
+`}})
+	diags := diagStrings(prog, []*Analyzer{Determinism(), GoroutineSafety(), StaleSuppression()})
+	if len(diags) != 1 || !strings.Contains(diags[0], "//brlint:allow goroutine-safety suppresses no diagnostic") {
+		t.Fatalf("want exactly the goroutine-safety half reported stale, got %v", diags)
+	}
+}

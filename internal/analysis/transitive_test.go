@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeterminismTransitiveTwoHops is the laundering case the old syntactic
+// pass missed: sim-path code calls a helper package, which calls a second
+// helper, which reads the wall clock. Neither helper is a sim-path package,
+// so a per-file scan sees nothing — only call-graph reachability does.
+func TestDeterminismTransitiveTwoHops(t *testing.T) {
+	prog := loadFixture(t,
+		fixturePkg{path: "repro/internal/clockutil", files: map[string]string{"clockutil.go": `package clockutil
+import "time"
+func Stamp() int64 { return time.Now().UnixNano() }
+`}},
+		fixturePkg{path: "repro/internal/metrics", files: map[string]string{"metrics.go": `package metrics
+import "repro/internal/clockutil"
+func Record() int64 { return clockutil.Stamp() }
+`}},
+		fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+import "repro/internal/metrics"
+func Cycle() { metrics.Record() }
+`}},
+	)
+	diags := diagStrings(prog, []*Analyzer{Determinism()})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d, "clockutil.go:3") || !strings.Contains(d, "time.Now") {
+		t.Fatalf("diagnostic should land on the time.Now call in the helper: %v", d)
+	}
+	if !strings.Contains(d, "reachable from the sim path: core.Cycle → metrics.Record → clockutil.Stamp") {
+		t.Fatalf("diagnostic should carry the two-hop reachability chain: %v", d)
+	}
+}
+
+// TestDeterminismTransitiveUnreachableHelperClean: the same primitive in a
+// helper nothing on the sim path calls stays unflagged.
+func TestDeterminismTransitiveUnreachableHelperClean(t *testing.T) {
+	prog := loadFixture(t,
+		fixturePkg{path: "repro/internal/clockutil", files: map[string]string{"clockutil.go": `package clockutil
+import "time"
+func Stamp() int64 { return time.Now().UnixNano() }
+`}},
+		fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+func Cycle() {}
+`}},
+	)
+	if diags := diagStrings(prog, []*Analyzer{Determinism()}); len(diags) != 0 {
+		t.Fatalf("unreachable helper must not be flagged, got %v", diags)
+	}
+}
+
+// TestDeterminismTransitiveMapRange: a map iteration two hops from the sim
+// path is flagged at the helper, with the chain.
+func TestDeterminismTransitiveMapRange(t *testing.T) {
+	prog := loadFixture(t,
+		fixturePkg{path: "repro/internal/tally", files: map[string]string{"tally.go": `package tally
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`}},
+		fixturePkg{path: "repro/internal/sim", files: map[string]string{"sim.go": `package sim
+import "repro/internal/tally"
+func Run() int { return tally.Sum(nil) }
+`}},
+	)
+	diags := diagStrings(prog, []*Analyzer{Determinism()})
+	if len(diags) != 1 || !strings.Contains(diags[0], "range over map") ||
+		!strings.Contains(diags[0], "sim.Run → tally.Sum") {
+		t.Fatalf("want one transitive map-range diagnostic with chain, got %v", diags)
+	}
+}
+
+// TestGoroutineSafetyTransitive: a go statement and a sync primitive in a
+// helper package reachable from the sim path are flagged with the chain.
+func TestGoroutineSafetyTransitive(t *testing.T) {
+	prog := loadFixture(t,
+		fixturePkg{path: "repro/internal/pool", files: map[string]string{"pool.go": `package pool
+import "sync"
+var mu sync.Mutex
+func Locked(f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	f()
+}
+func Spawn(f func()) { go f() }
+`}},
+		fixturePkg{path: "repro/internal/cache", files: map[string]string{"cache.go": `package cache
+import "repro/internal/pool"
+func Access() {
+	pool.Locked(func() {})
+	pool.Spawn(func() {})
+}
+`}},
+	)
+	diags := diagStrings(prog, []*Analyzer{GoroutineSafety()})
+	var sawSync, sawGo bool
+	for _, d := range diags {
+		if strings.Contains(d, "use of sync.") && strings.Contains(d, "cache.Access → pool.Locked") {
+			sawSync = true
+		}
+		if strings.Contains(d, "go statement") && strings.Contains(d, "cache.Access → pool.Spawn") {
+			sawGo = true
+		}
+	}
+	if !sawSync || !sawGo {
+		t.Fatalf("want transitive sync-use and go-statement findings with chains, got %v", diags)
+	}
+}
+
+// TestGoroutineSafetyTransitiveCleanHelper: a helper that uses no
+// concurrency primitives produces nothing, even though it is reachable.
+func TestGoroutineSafetyTransitiveCleanHelper(t *testing.T) {
+	prog := loadFixture(t,
+		fixturePkg{path: "repro/internal/mathutil", files: map[string]string{"mathutil.go": `package mathutil
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+`}},
+		fixturePkg{path: "repro/internal/core", files: map[string]string{"core.go": `package core
+import "repro/internal/mathutil"
+func Cycle() { mathutil.Abs(-1) }
+`}},
+	)
+	if diags := diagStrings(prog, []*Analyzer{GoroutineSafety()}); len(diags) != 0 {
+		t.Fatalf("clean helper must not be flagged, got %v", diags)
+	}
+}

@@ -41,8 +41,14 @@ type Predictor interface {
 	Release(s Snapshot)
 	// Commit updates the prediction tables at retirement. taken is the
 	// resolved direction, pred the direction Predict returned, and info
-	// the value Predict returned alongside it.
+	// the value Predict returned alongside it. Commit must not retain
+	// info: the core hands it back via ReleaseInfo afterwards.
 	Commit(pc uint64, taken, pred bool, info Info)
+	// ReleaseInfo returns prediction-time state to the predictor once its
+	// branch has retired (after Commit) or been squashed, so
+	// implementations can recycle the allocation. An info must be
+	// released at most once and never used afterwards.
+	ReleaseInfo(info Info)
 	// StorageBits reports the predictor's storage budget in bits.
 	StorageBits() int
 }
@@ -122,6 +128,9 @@ func (b *Bimodal) Commit(pc uint64, taken, _ bool, _ Info) {
 	b.table[i] = b.table[i].update(taken)
 }
 
+// ReleaseInfo implements Predictor; bimodal returns no prediction state.
+func (b *Bimodal) ReleaseInfo(Info) {}
+
 // StorageBits implements Predictor.
 func (b *Bimodal) StorageBits() int { return 2 * len(b.table) }
 
@@ -181,6 +190,9 @@ func (g *Gshare) Commit(_ uint64, taken, _ bool, info Info) {
 	i := info.(uint64)
 	g.table[i] = g.table[i].update(taken)
 }
+
+// ReleaseInfo implements Predictor; gshare infos are plain index values.
+func (g *Gshare) ReleaseInfo(Info) {}
 
 // StorageBits implements Predictor.
 func (g *Gshare) StorageBits() int { return 2*len(g.table) + int(g.histBits) }

@@ -58,3 +58,49 @@ func TestTAGEPooledCheckpointRestores(t *testing.T) {
 		}
 	}
 }
+
+// TestTAGESCLInfoPoolNoAlloc asserts the info free list makes the
+// per-conditional-branch Predict/Commit/ReleaseInfo cycle allocation-free
+// once primed — Predict runs once per fetched conditional branch, the
+// hottest predictor path.
+func TestTAGESCLInfoPoolNoAlloc(t *testing.T) {
+	p := NewTAGESCL64()
+	// Prime: the first Predict allocates the pooled sclInfo and its slices.
+	_, info := p.Predict(0x400)
+	p.ReleaseInfo(info)
+	pc := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		pc += 4
+		pred, in := p.Predict(pc)
+		p.OnFetch(pc, pred)
+		p.Commit(pc, pc%3 == 0, pred, in)
+		p.ReleaseInfo(in)
+	})
+	if allocs != 0 {
+		t.Fatalf("predict/commit/release allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestTAGESCLPooledInfoEquivalent verifies recycled infos carry no state
+// between predictions: a predictor cycling infos through the pool must
+// behave identically to one using each info once.
+func TestTAGESCLPooledInfoEquivalent(t *testing.T) {
+	pooled := NewTAGESCL64()
+	fresh := NewTAGESCL64()
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 2000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		pc := (rng >> 33) % 64 * 4
+		taken := rng>>17&7 < 3
+		predP, infoP := pooled.Predict(pc)
+		predF, infoF := fresh.Predict(pc)
+		if predP != predF {
+			t.Fatalf("iter %d pc %#x: pooled predicted %v, fresh %v", i, pc, predP, predF)
+		}
+		pooled.OnFetch(pc, taken)
+		fresh.OnFetch(pc, taken)
+		pooled.Commit(pc, taken, predP, infoP)
+		fresh.Commit(pc, taken, predF, infoF)
+		pooled.ReleaseInfo(infoP) // fresh never releases: its infos are used once
+	}
+}

@@ -154,13 +154,26 @@ type tagePred struct {
 }
 
 func (t *tage) predict(pc uint64) *tagePred {
+	p := new(tagePred)
+	t.predictInto(p, pc)
+	return p
+}
+
+// predictInto fills p with the prediction-time state for pc, reusing p's
+// slices; it is the allocation-free path TAGESCL's info pool feeds.
+func (t *tage) predictInto(p *tagePred, pc uint64) {
 	n := t.numTables()
-	p := &tagePred{
-		indices:  make([]uint32, n),
-		tags:     make([]uint16, n),
-		provider: -1,
-		alt:      -1,
+	if cap(p.indices) < n {
+		// Cold-path pool fill: runs once per pooled tagePred, then the
+		// slices are reused forever (TestTAGESCLInfoPoolNoAlloc).
+		//brlint:allow hot-path-alloc
+		p.indices = make([]uint32, n)
+		p.tags = make([]uint16, n) //brlint:allow hot-path-alloc
 	}
+	p.indices = p.indices[:n]
+	p.tags = p.tags[:n]
+	p.provider = -1
+	p.alt = -1
 	for i := 0; i < n; i++ {
 		p.indices[i] = t.index(i, pc)
 		p.tags[i] = t.tagOf(i, pc)
@@ -194,7 +207,6 @@ func (t *tage) predict(pc uint64) *tagePred {
 	} else {
 		p.predDir = basePred
 	}
-	return p
 }
 
 // commit performs the retire-time TAGE table update.
@@ -300,8 +312,11 @@ func (t *tage) checkpoint() *tageSnap {
 		t.snapPool = t.snapPool[:last]
 		s.head, s.path = t.hist.head, t.path
 	} else {
+		// Cold-path pool fill: runs once per pooled snapshot, then the
+		// object is recycled forever (TestTAGECheckpointPoolNoAlloc).
+		//brlint:allow hot-path-alloc
 		s = &tageSnap{head: t.hist.head, path: t.path,
-			folds: make([]uint32, 3*n+len(t.extraFolds))}
+			folds: make([]uint32, 3*n+len(t.extraFolds))} //brlint:allow hot-path-alloc
 	}
 	for i := 0; i < n; i++ {
 		s.folds[3*i] = t.idxF[i].comp
@@ -335,7 +350,9 @@ func (t *tage) release(s *tageSnap) {
 	if s == nil {
 		return
 	}
-	t.snapPool = append(t.snapPool, s)
+	// Pool growth is bounded by the in-flight branch count and amortizes
+	// to zero (TestTAGECheckpointPoolNoAlloc).
+	t.snapPool = append(t.snapPool, s) //brlint:allow hot-path-alloc
 }
 
 // onFetch pushes one speculative history bit.

@@ -20,6 +20,12 @@ type TAGESCL struct {
 	scLens    []uint32
 	scThresh  int32
 	scLogSize uint
+
+	// infoPool recycles sclInfo objects (and the tagePred plus index
+	// slices inside them) between Predict and ReleaseInfo: Predict runs
+	// once per fetched conditional branch, the hottest predictor path.
+	// A free list is never part of the architectural state.
+	infoPool []*sclInfo //brlint:allow snapshot-coverage
 }
 
 // sclInfo is the prediction-time state handed back at Commit.
@@ -131,7 +137,17 @@ func (s *TAGESCL) scIndex(i int, pc uint64) uint32 {
 
 // Predict implements Predictor.
 func (s *TAGESCL) Predict(pc uint64) (bool, Info) {
-	info := &sclInfo{tp: s.t.predict(pc)}
+	var info *sclInfo
+	if n := len(s.infoPool); n > 0 {
+		info = s.infoPool[n-1]
+		s.infoPool = s.infoPool[:n-1]
+	} else {
+		// Cold-path pool fill: runs once per pooled info, then the object
+		// is recycled forever (TestTAGESCLInfoPoolNoAlloc).
+		//brlint:allow hot-path-alloc
+		info = &sclInfo{tp: new(tagePred)}
+	}
+	s.t.predictInto(info.tp, pc)
 	pred := info.tp.predDir
 
 	// Loop predictor override.
@@ -147,7 +163,12 @@ func (s *TAGESCL) Predict(pc uint64) (bool, Info) {
 		info.scBiasIdx |= 1
 	}
 	sum += 2*int32(s.scBias[info.scBiasIdx]) + 1
-	info.scIdx = make([]uint32, len(s.scTables))
+	if cap(info.scIdx) < len(s.scTables) {
+		// Cold-path pool fill, reused forever after the first Predict.
+		//brlint:allow hot-path-alloc
+		info.scIdx = make([]uint32, len(s.scTables))
+	}
+	info.scIdx = info.scIdx[:len(s.scTables)]
 	for i := range s.scTables {
 		idx := s.scIndex(i, pc)
 		info.scIdx[i] = idx
@@ -192,6 +213,17 @@ func (s *TAGESCL) Commit(pc uint64, taken, _ bool, info Info) {
 		for i, idx := range in.scIdx {
 			s.scTables[i][idx] = signedCtr(s.scTables[i][idx], taken, 6)
 		}
+	}
+}
+
+// ReleaseInfo implements Predictor: retired and squashed prediction state
+// goes back to the pool Predict draws from. The slices inside are kept for
+// reuse; every scalar field is overwritten by the next Predict.
+func (s *TAGESCL) ReleaseInfo(info Info) {
+	if in, ok := info.(*sclInfo); ok && in != nil {
+		// Pool growth is bounded by the in-flight branch count and
+		// amortizes to zero (TestTAGESCLInfoPoolNoAlloc).
+		s.infoPool = append(s.infoPool, in) //brlint:allow hot-path-alloc
 	}
 }
 

@@ -69,9 +69,10 @@ type Cache struct {
 	pf *StreamPrefetcher
 
 	// tr is the structured event tracer (nil when tracing is off);
-	// trUnit identifies this level on the trace timeline.
-	tr     *trace.Tracer
-	trUnit uint64
+	// trUnit identifies this level on the trace timeline. Tracer wiring is
+	// re-attached by the machine builder, not the codec.
+	tr     *trace.Tracer //brlint:allow snapshot-coverage
+	trUnit uint64        //brlint:allow snapshot-coverage
 
 	// Counters: hits, misses, evictions, writebacks, pendingHits.
 	C *stats.Counters
@@ -370,12 +371,15 @@ type StreamPrefetcher struct {
 	distance int
 	degree   int
 	below    MemLevel // level that sources prefetched data (DRAM)
-	fill     *Cache   // level that receives prefetched lines (LLC)
-	lineOff  uint
-	clock    uint64
-	C        *stats.Counters
-	// prefetches is the dense handle for the per-issue counter.
-	prefetches stats.Counter
+	// fill is hierarchy wiring (the LLC), re-attached by the machine
+	// builder, not the codec.
+	fill    *Cache //brlint:allow snapshot-coverage
+	lineOff uint
+	clock   uint64
+	C       *stats.Counters
+	// prefetches is the dense handle for the per-issue counter; the value
+	// lives in C, which the codec serializes.
+	prefetches stats.Counter //brlint:allow snapshot-coverage
 }
 
 type stream struct {

@@ -25,13 +25,15 @@ type BranchStat struct {
 
 // Core is the cycle-level out-of-order processor.
 type Core struct {
-	cfg  Config
+	// cfg and the wired units below are construction-time configuration,
+	// rebuilt by the machine builder before a snapshot is loaded into it.
+	cfg  Config //brlint:allow snapshot-coverage
 	prog *program.Program
 	mem  *emu.Memory
 	fe   *frontend
 	bp   bpred.Predictor
 	hier Hierarchy
-	ext  Extension
+	ext  Extension //brlint:allow snapshot-coverage
 
 	now uint64
 	seq uint64
@@ -54,11 +56,13 @@ type Core struct {
 	haltRetired     bool
 
 	// fetchDisabled suspends fetch while Drain empties the pipeline ahead
-	// of a snapshot barrier.
-	fetchDisabled bool
+	// of a snapshot barrier; snapshots are only taken at quiesced barriers
+	// where it has been reset, so the codec never needs it.
+	fetchDisabled bool //brlint:allow snapshot-coverage
 
-	tracer Tracer
-	tr     *trace.Tracer
+	// Tracer wiring is re-attached by the machine builder, not the codec.
+	tracer Tracer        //brlint:allow snapshot-coverage
+	tr     *trace.Tracer //brlint:allow snapshot-coverage
 
 	// Stats.
 	C *stats.Counters
@@ -68,7 +72,8 @@ type Core struct {
 	Ctr      CoreCounters
 	Branches map[uint64]*BranchStat
 
-	issueBuf []*DynUop // scratch, reused each cycle
+	// issueBuf is per-cycle scratch, empty between cycles.
+	issueBuf []*DynUop //brlint:allow snapshot-coverage
 }
 
 // CoreCounters holds dense handles into C for every per-cycle event, so the
@@ -181,7 +186,11 @@ func (c *Core) Drain() error {
 	return nil
 }
 
-// Cycle advances the machine one clock.
+// Cycle advances the machine one clock. This is the simulator's innermost
+// loop: everything reachable from here is statically barred from allocating
+// by brlint's hot-path-alloc rule.
+//
+//brlint:hotpath
 func (c *Core) Cycle() {
 	c.retire()
 	c.complete()
@@ -200,6 +209,7 @@ func (c *Core) Cycle() {
 
 // ---------------------------------------------------------------- retire --
 
+//brlint:hotpath
 func (c *Core) retire() {
 	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
 		d := c.rob[0]
@@ -300,6 +310,10 @@ func (c *Core) releaseSnaps(d *DynUop) {
 	if d.bpSnap != nil {
 		c.bp.Release(d.bpSnap)
 		d.bpSnap = nil
+	}
+	if d.PredInfo != nil {
+		c.bp.ReleaseInfo(d.PredInfo)
+		d.PredInfo = nil
 	}
 	if d.extSnap != nil {
 		if c.ext != nil {
@@ -565,6 +579,7 @@ func (c *Core) rename(d *DynUop) {
 
 // ----------------------------------------------------------------- fetch --
 
+//brlint:hotpath
 func (c *Core) fetch() {
 	if c.fetchDisabled {
 		return
@@ -647,6 +662,7 @@ func (c *Core) fetchCondBranch(pc uint64) *DynUop {
 		// No micro-op was produced, so nothing will ever retire or squash
 		// these checkpoints: hand them straight back.
 		c.bp.Release(bpSnap)
+		c.bp.ReleaseInfo(info)
 		if c.ext != nil && extSnap != nil {
 			c.ext.ReleaseCheckpoint(extSnap)
 		}

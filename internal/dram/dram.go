@@ -68,8 +68,9 @@ type channel struct {
 type DRAM struct {
 	cfg Config
 	chs []channel
-	// tr is the structured event tracer (nil when tracing is off).
-	tr *trace.Tracer
+	// tr is the structured event tracer (nil when tracing is off);
+	// wiring is re-attached by the machine builder, not the codec.
+	tr *trace.Tracer //brlint:allow snapshot-coverage
 	C  *stats.Counters
 	// Ctr holds dense handles into C for the per-request events; the
 	// values live in C, which the codec serializes.

@@ -204,7 +204,7 @@ func saveResult(w *brstate.Writer, res *sim.Result) {
 	}
 	pcs := make([]uint64, 0, len(res.PerBranch))
 	// Key gathering is order-insensitive; the sort below restores determinism.
-	for pc := range res.PerBranch { //brlint:allow determinism
+	for pc := range res.PerBranch {
 		pcs = append(pcs, pc)
 	}
 	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })

@@ -86,9 +86,10 @@ type deferredInit struct {
 // dependence chains, sharing the D-cache with the core (core priority) and
 // pushing computed branch outcomes into the prediction queues.
 type DCE struct {
-	cfg      *Config
-	dcache   *cache.Cache
-	dtlb     *cache.TLB // shared with the core; may be nil
+	cfg    *Config
+	dcache *cache.Cache
+	// dtlb is shared with the core (may be nil); wiring, not state.
+	dtlb     *cache.TLB //brlint:allow snapshot-coverage
 	mem      *emu.Memory
 	cc       *ChainCache
 	pqs      *PQSet
@@ -101,19 +102,23 @@ type DCE struct {
 	all []*Instance
 	// run holds the initiated-but-not-done instances (the scan set for
 	// scheduling), in initiation order.
-	run        []*Instance
-	activeRun  int // count of initiated-but-not-done instances (the window)
-	nextID     uint64
-	deferred   []deferredInit
-	spareIssue int // Core-Only: this cycle's borrowed issue slots
-	spareRS    int
+	run       []*Instance
+	activeRun int // count of initiated-but-not-done instances (the window)
+	nextID    uint64
+	deferred  []deferredInit
+	// spareIssue/spareRS are per-Tick scratch (Core-Only: the cycle's
+	// borrowed issue slots), rewritten before each use.
+	spareIssue int //brlint:allow snapshot-coverage
+	spareRS    int //brlint:allow snapshot-coverage
 
 	C *stats.Counters
-	// Dense handles for the engine's per-event counters.
-	ctr dceCounters
+	// Dense handles for the engine's per-event counters; the values live
+	// in C, which the codec serializes.
+	ctr dceCounters //brlint:allow snapshot-coverage
 
-	// tr is the structured event tracer (nil when tracing is off).
-	tr *trace.Tracer
+	// tr is the structured event tracer (nil when tracing is off);
+	// wiring is re-attached by the machine builder, not the codec.
+	tr *trace.Tracer //brlint:allow snapshot-coverage
 }
 
 // dceCounters are pre-registered handles; uopsIssued and loadsIssued fire
@@ -477,6 +482,8 @@ func (e *DCE) flushYoungerThan(now uint64, in *Instance) {
 
 // Tick advances the engine one cycle. spareIssue/spareRS report the core's
 // per-cycle slack (used by the Core-Only configuration).
+//
+//brlint:hotpath
 func (e *DCE) Tick(now uint64, spareIssue, spareRS int) {
 	e.spareIssue = spareIssue
 	e.spareRS = spareRS

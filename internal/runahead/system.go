@@ -14,7 +14,8 @@ import (
 // chain extraction, the chain cache, the prediction queues and the DCE into
 // the core's fetch/resolve/retire/flush hooks.
 type System struct {
-	cfg Config
+	// cfg is construction-time configuration, rebuilt before restore.
+	cfg Config //brlint:allow snapshot-coverage
 
 	hbt *HBT
 	ceb *CEB
@@ -38,11 +39,13 @@ type System struct {
 	chainAGTagged uint64
 
 	C *stats.Counters
-	// Dense handles for the per-branch-event counters.
-	ctr sysCounters
+	// Dense handles for the per-branch-event counters; the values live in
+	// C, which the codec serializes.
+	ctr sysCounters //brlint:allow snapshot-coverage
 
-	// tr is the structured event tracer (nil when tracing is off).
-	tr *trace.Tracer
+	// tr is the structured event tracer (nil when tracing is off);
+	// wiring is re-attached by the machine builder, not the codec.
+	tr *trace.Tracer //brlint:allow snapshot-coverage
 }
 
 // sysCounters are pre-registered handles for the prediction-accounting and

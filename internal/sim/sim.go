@@ -48,19 +48,28 @@ func newPredictor(k PredictorKind) bpred.Predictor {
 }
 
 // Config describes one simulation.
+//
+// Every field carries a `brphase` struct tag partitioning the configuration
+// into warmup-affecting ("warmup") and measure-only ("measure") fields,
+// enforced by brlint's config-partition rule: warmup-phase code may never
+// read a measure-only field, so two configs that differ only in measure-only
+// fields reach a bit-identical warmup boundary — the static guarantee that
+// makes sharing one warmup snapshot across Figure-13 sweep points safe.
 type Config struct {
-	Core      core.Config
-	Predictor PredictorKind
+	Core      core.Config   `brphase:"warmup"`
+	Predictor PredictorKind `brphase:"warmup"`
 	// BR enables Branch Runahead when non-nil.
-	BR *runahead.Config
+	BR *runahead.Config `brphase:"warmup"`
 	// Warmup instructions excluded from the measured statistics.
-	Warmup uint64
+	Warmup uint64 `brphase:"warmup"`
 	// MaxInstrs is the measured instruction budget.
-	MaxInstrs uint64
+	MaxInstrs uint64 `brphase:"measure"`
 	// Trace, when non-nil, receives structured events from every simulated
 	// unit. Phase markers (warmup/measure/end) bracket the run so sinks can
-	// reproduce the warmup-excluded statistics.
-	Trace *trace.Tracer
+	// reproduce the warmup-excluded statistics. (Tracing never changes
+	// simulated state, but warmup code reads the field, so it is
+	// warmup-affecting for snapshot-sharing purposes.)
+	Trace *trace.Tracer `brphase:"warmup"`
 	// SnapshotStride, when positive, inserts quiesce barriers into the run:
 	// one at the warmup/measure boundary and one every SnapshotStride retired
 	// instructions of the measured phase. At a barrier the pipeline drains
@@ -69,12 +78,13 @@ type Config struct {
 	// whether or not a snapshot is written, so a run resumed from a barrier
 	// snapshot replays identically to one that ran straight through). Zero
 	// leaves the run barrier-free and bit-identical to the unsnapshotted
-	// simulator.
-	SnapshotStride uint64
+	// simulator. The warmup-boundary barrier makes this warmup-affecting.
+	SnapshotStride uint64 `brphase:"warmup"`
 	// SnapshotFn, when set alongside SnapshotStride, receives the serialized
 	// whole-simulation snapshot at each barrier. A returned error aborts the
-	// run.
-	SnapshotFn func(retired uint64, blob []byte) error
+	// run. Snapshot emission observes state without changing it, so the sink
+	// is measure-only.
+	SnapshotFn func(retired uint64, blob []byte) error `brphase:"measure"`
 }
 
 // Validate checks the whole simulation configuration, including the nested
@@ -243,18 +253,8 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tr := cfg.Trace; tr.Enabled() {
-		tr.Emit(trace.Event{Kind: trace.KindPhase, Arg: trace.PhaseWarmup})
-	}
-	if cfg.Warmup > 0 {
-		if _, err := m.c.Run(cfg.Warmup); err != nil {
-			return nil, fmt.Errorf("sim %s: warmup: %w", w.Name, err)
-		}
-	}
-	if cfg.SnapshotStride > 0 {
-		if err := m.barrier(); err != nil {
-			return nil, fmt.Errorf("sim %s: warmup barrier: %w", w.Name, err)
-		}
+	if err := m.warmup(); err != nil {
+		return nil, err
 	}
 	boundary := snapshot(m.c, m.sys, m.hier)
 	if tr := cfg.Trace; tr.Enabled() {
@@ -268,9 +268,35 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	return m.measure(boundary)
 }
 
+// warmup drives the machine from reset to the warmup/measure boundary,
+// applying the boundary barrier when snapshots are configured. Everything
+// reachable from here (and not from the measure phase) is statically barred
+// from reading measure-only Config fields by brlint's config-partition rule,
+// so runs differing only in those fields share a bit-identical boundary.
+//
+//brlint:phase warmup
+func (m *machine) warmup() error {
+	if tr := m.cfg.Trace; tr.Enabled() {
+		tr.Emit(trace.Event{Kind: trace.KindPhase, Arg: trace.PhaseWarmup})
+	}
+	if m.cfg.Warmup > 0 {
+		if _, err := m.c.Run(m.cfg.Warmup); err != nil {
+			return fmt.Errorf("sim %s: warmup: %w", m.w.Name, err)
+		}
+	}
+	if m.cfg.SnapshotStride > 0 {
+		if err := m.barrier(); err != nil {
+			return fmt.Errorf("sim %s: warmup barrier: %w", m.w.Name, err)
+		}
+	}
+	return nil
+}
+
 // measure drives the measured phase from the warmup boundary to the
 // instruction budget, applying stride barriers when configured, and computes
 // the result.
+//
+//brlint:phase measure
 func (m *machine) measure(boundary snap) (*Result, error) {
 	end := boundary.retired + m.cfg.MaxInstrs
 	if m.cfg.SnapshotStride == 0 {
