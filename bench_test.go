@@ -341,6 +341,37 @@ func BenchmarkSuiteParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWarmupShared measures what warmup-snapshot forking buys on
+// the Figure-13 sweep — the workload it was built for: every sweep point is
+// a distinct BR config over the same warmup partition, so with -share-warmup
+// semantics each sweep workload warms up once and every point forks the
+// blob. The unshared pass is the suite's default end-to-end behavior
+// (warmup re-simulated per point), so the runs/sec ratio is the user-visible
+// win of turning sharing on.
+func BenchmarkSweepWarmupShared(b *testing.B) {
+	for _, shared := range []bool{false, true} {
+		name := "unshared"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			runs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := benchOptions()
+				o.Jobs = 4
+				o.ShareWarmup = shared
+				s := NewExperiments(o)
+				if _, _, err := s.Figure13(); err != nil {
+					b.Fatal(err)
+				}
+				runs += s.RunsExecuted()
+			}
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+}
+
 // BenchmarkSuiteWarmCacheSpeedup measures what the persistent run cache
 // buys: regenerating Figure 10 against a warm -cache-dir executes zero
 // simulations, so a warm pass is pure result decode plus table assembly.

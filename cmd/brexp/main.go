@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	br "repro"
@@ -45,6 +47,9 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "persistent run cache directory; completed simulation points are reused across invocations")
 		noCache     = flag.Bool("no-cache", false, "recompute every point, ignoring the persistent cache even when -cache-dir is set")
 		resume      = flag.Bool("resume", false, "with -cache-dir: persist mid-run snapshots and resume interrupted points on restart")
+		shareWarmup = flag.Bool("share-warmup", false, "warm up once per workload and fork each point from the shared snapshot (WarmupBarrier mode; overridden by -resume)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 
 		traceOut      = flag.String("trace", "", "write a Chrome trace_event JSON of one run to this path and exit")
 		traceFilter   = flag.String("trace-filter", "", "only trace events for one branch: pc=0x...")
@@ -52,6 +57,33 @@ func main() {
 		traceConfig   = flag.String("trace-config", "mini", "configuration for -trace mode: baseline|coreonly|mini|big")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "brexp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "brexp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "brexp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "brexp: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *traceOut != "" {
 		opts := traceOptions{
@@ -86,6 +118,7 @@ func main() {
 	opts.CacheDir = *cacheDir
 	opts.NoCache = *noCache
 	opts.Resume = *resume
+	opts.ShareWarmup = *shareWarmup
 	if *resume && *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "brexp: -resume requires -cache-dir")
 		os.Exit(2)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bpred"
 	"repro/internal/emu"
@@ -27,7 +26,7 @@ type BranchStat struct {
 type Core struct {
 	// cfg and the wired units below are construction-time configuration,
 	// rebuilt by the machine builder before a snapshot is loaded into it.
-	cfg  Config //brlint:allow snapshot-coverage
+	cfg  Config
 	prog *program.Program
 	mem  *emu.Memory
 	fe   *frontend
@@ -74,6 +73,62 @@ type Core struct {
 
 	// issueBuf is per-cycle scratch, empty between cycles.
 	issueBuf []*DynUop //brlint:allow snapshot-coverage
+
+	// dec is the decode cache: per-static-uop register lists, latency and
+	// the branch bit, precomputed at construction and read-only afterwards.
+	dec []decInfo //brlint:allow snapshot-coverage
+	// robBuf/fetchQBuf are the fixed backing arrays of the front-popping
+	// rob and fetchQ windows; pure storage, rebuilt by the constructor.
+	robBuf    []*DynUop //brlint:allow snapshot-coverage
+	fetchQBuf []*DynUop //brlint:allow snapshot-coverage
+	// resolvedBuf/squashBuf are per-event scratch, dead between uses.
+	resolvedBuf []*DynUop //brlint:allow snapshot-coverage
+	squashBuf   []*DynUop //brlint:allow snapshot-coverage
+	// bsSlab is the BranchStat bump allocator: fresh zeroed chunks handed
+	// out by reslice, never recycled (entries live in Branches, which the
+	// codec serializes).
+	bsSlab []BranchStat //brlint:allow snapshot-coverage
+}
+
+// decInfo caches one static micro-op's decoded scheduling facts so the
+// per-cycle loops (rename, recovery, execute, fetch steering) never
+// re-derive them from the isa encoding.
+type decInfo struct {
+	srcs     [3]isa.Reg
+	dsts     [2]isa.Reg
+	nsrc     uint8
+	ndst     uint8
+	isCondBr bool
+	lat      uint64
+}
+
+func buildDecode(cfg *Config, p *program.Program) []decInfo {
+	dec := make([]decInfo, p.Len())
+	var srcBuf [4]isa.Reg
+	var dstBuf [2]isa.Reg
+	for pc := range dec {
+		u := p.At(uint64(pc))
+		de := &dec[pc]
+		de.nsrc = uint8(copy(de.srcs[:], u.SrcRegs(srcBuf[:0])))
+		de.ndst = uint8(copy(de.dsts[:], u.DstRegs(dstBuf[:0])))
+		de.isCondBr = u.Op.IsCondBranch()
+		de.lat = opLatency(cfg, u.Op)
+	}
+	return dec
+}
+
+// pushQueue appends d to a front-popping queue backed by buf. Pops slide
+// the slice base forward, so a full-looking window may just be sitting at
+// the end of its backing array: compact it back to the base instead of
+// letting append allocate. buf is twice the architectural occupancy bound,
+// so compaction runs at most once per bound pushes — amortized O(1).
+func pushQueue[T any](buf, q []T, v T) []T {
+	if len(q) == cap(q) {
+		q = buf[:copy(buf, q)]
+	}
+	q = q[:len(q)+1]
+	q[len(q)-1] = v
+	return q
 }
 
 // CoreCounters holds dense handles into C for every per-cycle event, so the
@@ -121,7 +176,7 @@ func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext
 		cfg:      cfg,
 		prog:     p,
 		mem:      mem,
-		fe:       newFrontend(p, mem),
+		fe:       newFrontend(p, mem, cfg.FetchQSize+cfg.ROBSize),
 		bp:       bp,
 		hier:     hier,
 		ext:      ext,
@@ -130,6 +185,15 @@ func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext
 	}
 	c.Ctr = newCoreCounters(c.C)
 	c.curFetchLine = ^uint64(0)
+	c.dec = buildDecode(&cfg, p)
+	c.robBuf = make([]*DynUop, 2*cfg.ROBSize)
+	c.fetchQBuf = make([]*DynUop, 2*cfg.FetchQSize)
+	c.rob = c.robBuf[:0]
+	c.fetchQ = c.fetchQBuf[:0]
+	c.rs = make([]*DynUop, 0, cfg.RSSize)
+	c.issueBuf = make([]*DynUop, 0, cfg.RSSize)
+	c.resolvedBuf = make([]*DynUop, 0, cfg.ROBSize)
+	c.squashBuf = make([]*DynUop, cfg.ROBSize)
 	return c
 }
 
@@ -138,7 +202,10 @@ func (c *Core) Memory() *emu.Memory { return c.mem }
 
 // SetExtension attaches an extension after construction (the Branch
 // Runahead system needs the core's committed memory, which exists only
-// once the core does). Must be called before the first cycle.
+// once the core does). Must be called before the first cycle, or at a
+// drained barrier (empty pipeline, no in-flight extension state) — the
+// warmup-fork path attaches the runahead system at the warmup/measure
+// boundary that way.
 func (c *Core) SetExtension(ext Extension) { c.ext = ext }
 
 // Now returns the current cycle.
@@ -156,9 +223,48 @@ func (c *Core) Run(maxRetired uint64) (uint64, error) {
 			return c.Ctr.Retired.Get(), fmt.Errorf("core: cycle cap exceeded (deadlock?) at cycle %d, retired %d",
 				c.now, c.Ctr.Retired.Get())
 		}
+		c.skipDeadCycles()
 		c.Cycle()
 	}
 	return c.Ctr.Retired.Get(), nil
+}
+
+// skipDeadCycles fast-forwards through cycles that provably do nothing:
+// the pipeline is empty, the extension is idle (its Tick is a no-op), and
+// fetch is stalled until a known future cycle — the redirect penalty after
+// a recovery, or an in-flight instruction-line fill. Each skipped cycle
+// would only have advanced the clock and, when the icache fill is the
+// binding stall, bumped the fetch-stall counter; the skip applies exactly
+// those effects, so it is result-invariant (pinned by the skip-equivalence
+// test, and defeatable via Config.DisableCycleSkip).
+func (c *Core) skipDeadCycles() {
+	if c.cfg.DisableCycleSkip || len(c.rob) != 0 || len(c.rs) != 0 || len(c.fetchQ) != 0 || c.fetchDisabled {
+		return
+	}
+	if c.ext != nil && !c.ext.Idle() {
+		return
+	}
+	if c.now < c.fetchStallUntil {
+		// Redirect bubble: fetch returns before touching the icache, so the
+		// skipped cycles increment nothing but the clock.
+		delta := c.fetchStallUntil - c.now
+		c.now += delta
+		c.Ctr.Cycles.Add(delta)
+		return
+	}
+	if c.fe.invalid || c.fe.halted {
+		return
+	}
+	// Fetch is waiting on the current instruction line's fill; until
+	// lineReadyAt each cycle counts one icache fetch stall. A PC on a new
+	// line is not skippable — its icache access must issue at its own cycle.
+	line := (c.fe.pc * c.cfg.UopBytes) / uint64(c.hier.ICache.LineBytes())
+	if line == c.curFetchLine && c.lineReadyAt > c.now {
+		delta := c.lineReadyAt - c.now
+		c.now += delta
+		c.Ctr.Cycles.Add(delta)
+		c.Ctr.FetchStallICache.Add(delta)
+	}
 }
 
 // Drain suspends fetch and cycles the machine until every in-flight
@@ -248,7 +354,14 @@ func (c *Core) retireBranch(d *DynUop) {
 	c.Ctr.RetiredCondBranches.Inc()
 	bs := c.Branches[d.U.PC]
 	if bs == nil {
-		bs = &BranchStat{PC: d.U.PC}
+		if len(c.bsSlab) == 0 {
+			// Amortized slab refill: one allocation per 64 new static
+			// branches instead of one per branch.
+			c.bsSlab = make([]BranchStat, 64) //brlint:allow hot-path-alloc
+		}
+		bs = &c.bsSlab[0]
+		c.bsSlab = c.bsSlab[1:]
+		bs.PC = d.U.PC
 		c.Branches[d.U.PC] = bs
 	}
 	bs.Execs++
@@ -278,22 +391,22 @@ func (c *Core) retireBranch(d *DynUop) {
 // -------------------------------------------------------------- complete --
 
 func (c *Core) complete() {
-	// Collect micro-ops whose execution finishes by now, oldest first, so
-	// branch recoveries trigger in program order.
-	var resolved []*DynUop
+	// Collect micro-ops whose execution finishes by now. The ROB walk is in
+	// program (sequence) order, so the resolved list is already oldest
+	// first and branch recoveries trigger in program order without a sort.
+	resolved := c.resolvedBuf[:0]
+	n := 0
 	for _, d := range c.rob {
 		if d.State == StIssued && d.DoneAt <= c.now {
 			d.State = StDone
 			c.trace("complete", d)
 			if d.IsCondBr {
-				resolved = append(resolved, d)
+				resolved = resolved[:n+1]
+				resolved[n] = d
+				n++
 			}
 		}
 	}
-	if len(resolved) == 0 {
-		return
-	}
-	sort.Slice(resolved, func(i, j int) bool { return resolved[i].Seq < resolved[j].Seq })
 	for _, d := range resolved {
 		if d.State == StSquashed {
 			continue
@@ -368,8 +481,7 @@ func (c *Core) recoverAt(d *DynUop) {
 			break
 		}
 	}
-	squashed := make([]*DynUop, len(c.rob)-cut)
-	copy(squashed, c.rob[cut:])
+	squashed := c.squashBuf[:copy(c.squashBuf, c.rob[cut:])]
 	c.rob = c.rob[:cut]
 	if c.ext != nil {
 		// The forward ROB walk that fills the Wrong Path Buffer: squashed
@@ -395,19 +507,21 @@ func (c *Core) recoverAt(d *DynUop) {
 		e.State = StSquashed
 	}
 	c.fetchQ = c.fetchQ[:0]
-	// Drop squashed reservation-station entries.
-	live := c.rs[:0]
+	// Drop squashed reservation-station entries (in place, order kept).
+	live, nl := c.rs[:0], 0
 	for _, e := range c.rs {
 		if e.State == StInRS {
-			live = append(live, e)
+			live = live[:nl+1]
+			live[nl] = e
+			nl++
 		}
 	}
 	c.rs = live
 	// Rebuild the register rename table from the surviving ROB.
 	c.lastWriter = [isa.NumRegs]*DynUop{}
-	var dstBuf [2]isa.Reg
 	for _, e := range c.rob {
-		for _, r := range e.U.DstRegs(dstBuf[:0]) {
+		de := &c.dec[e.U.PC]
+		for _, r := range de.dsts[:de.ndst] {
 			c.lastWriter[r] = e
 		}
 	}
@@ -450,15 +564,17 @@ func (c *Core) issue() int {
 	if len(c.rs) == 0 {
 		return 0
 	}
-	// Gather ready candidates, oldest first.
-	cand := c.issueBuf[:0]
+	// Gather ready candidates. The reservation stations are kept in
+	// dispatch (sequence) order — appends and in-place filters both
+	// preserve it — so the candidate list is already oldest first.
+	cand, nc := c.issueBuf[:0], 0
 	for _, d := range c.rs {
 		if c.uopReady(d) {
-			cand = append(cand, d)
+			cand = cand[:nc+1]
+			cand[nc] = d
+			nc++
 		}
 	}
-	c.issueBuf = cand
-	sort.Slice(cand, func(i, j int) bool { return cand[i].Seq < cand[j].Seq })
 
 	issued, aluUsed, memUsed := 0, 0, 0
 	for _, d := range cand {
@@ -481,10 +597,12 @@ func (c *Core) issue() int {
 	}
 	if issued > 0 {
 		// Remove issued entries from the reservation stations.
-		live := c.rs[:0]
+		live, nl := c.rs[:0], 0
 		for _, d := range c.rs {
 			if d.State == StInRS {
-				live = append(live, d)
+				live = live[:nl+1]
+				live[nl] = d
+				nl++
 			}
 		}
 		c.rs = live
@@ -493,7 +611,7 @@ func (c *Core) issue() int {
 }
 
 func (c *Core) uopReady(d *DynUop) bool {
-	for _, p := range d.prods {
+	for _, p := range d.prods[:d.nprods] {
 		if !p.Done(c.now) && p.State != StSquashed {
 			return false
 		}
@@ -529,7 +647,7 @@ func (c *Core) execute(d *DynUop) {
 		// Address generation; data commits at retire.
 		d.DoneAt = c.now + 1
 	default:
-		d.DoneAt = c.now + opLatency(&c.cfg, d.U.Op)
+		d.DoneAt = c.now + c.dec[d.U.PC].lat
 	}
 }
 
@@ -552,8 +670,9 @@ func (c *Core) dispatch() {
 		}
 		c.fetchQ = c.fetchQ[1:]
 		c.rename(d)
-		c.rob = append(c.rob, d)
-		c.rs = append(c.rs, d)
+		c.rob = pushQueue(c.robBuf, c.rob, d)
+		c.rs = c.rs[:len(c.rs)+1]
+		c.rs[len(c.rs)-1] = d
 		d.State = StInRS
 		c.trace("dispatch", d)
 		if d.U.Op.IsMem() {
@@ -563,16 +682,17 @@ func (c *Core) dispatch() {
 	}
 }
 
-// rename resolves d's register sources to producing micro-ops.
+// rename resolves d's register sources to producing micro-ops via the
+// decode cache.
 func (c *Core) rename(d *DynUop) {
-	var srcBuf [4]isa.Reg
-	for _, r := range d.U.SrcRegs(srcBuf[:0]) {
+	de := &c.dec[d.U.PC]
+	for _, r := range de.srcs[:de.nsrc] {
 		if w := c.lastWriter[r]; w != nil && w.State != StSquashed && w.State != StRetired {
-			d.prods = append(d.prods, w)
+			d.prods[d.nprods] = w
+			d.nprods++
 		}
 	}
-	var dstBuf [2]isa.Reg
-	for _, r := range d.U.DstRegs(dstBuf[:0]) {
+	for _, r := range de.dsts[:de.ndst] {
 		c.lastWriter[r] = d
 	}
 }
@@ -609,7 +729,7 @@ func (c *Core) fetch() {
 		c.seq++
 		wrongPath := c.mispFetchedUnresolved > 0
 		var d *DynUop
-		if u := c.prog.At(pc); u != nil && u.Op.IsCondBranch() {
+		if pc < uint64(len(c.dec)) && c.dec[pc].isCondBr {
 			d = c.fetchCondBranch(pc)
 		} else {
 			d = c.fe.fetchUop(c.seq)
@@ -619,7 +739,7 @@ func (c *Core) fetch() {
 		}
 		d.WrongPath = wrongPath
 		d.ReadyAt = c.now + c.cfg.FrontendDepth
-		c.fetchQ = append(c.fetchQ, d)
+		c.fetchQ = pushQueue(c.fetchQBuf, c.fetchQ, d)
 		c.trace("fetch", d)
 		c.Ctr.Fetched.Inc()
 		if d.WrongPath {

@@ -177,6 +177,7 @@ func (oracleExt) BranchResolved(uint64, *DynUop, *emu.RegFile) {}
 func (oracleExt) Flush(uint64, *DynUop, []*DynUop)             {}
 func (oracleExt) Retired(uint64, *DynUop)                      {}
 func (oracleExt) Tick(uint64, TickInfo)                        {}
+func (oracleExt) Idle() bool                                   { return true }
 
 func TestCoreOracleOverrideEliminatesMispredicts(t *testing.T) {
 	p, resultAddr, want := sumBelowProgram(3000, 13)

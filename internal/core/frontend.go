@@ -33,6 +33,14 @@ type frontend struct {
 	pc   uint64
 
 	stores []storeRec
+	// storeBuf is the fixed backing array of the front-popping stores
+	// overlay; pure storage, rebuilt by the constructor.
+	storeBuf []storeRec
+
+	// slab is the DynUop bump allocator: fresh zeroed chunks handed out by
+	// reslice and never recycled, so one allocation serves slabSize fetched
+	// micro-ops. Pure allocation scratch, rebuilt empty.
+	slab []DynUop
 
 	// invalid is set when fetch has run off the program (possible only on
 	// the wrong path); fetch stalls until a recovery redirects it.
@@ -41,8 +49,28 @@ type frontend struct {
 	halted bool
 }
 
-func newFrontend(p *program.Program, mem *emu.Memory) *frontend {
-	return &frontend{prog: p, mem: mem, pc: p.Entry}
+// slabSize is the DynUop bump-allocator chunk length.
+const slabSize = 4096
+
+// newFrontend builds a fetch engine; storeBound is the architectural bound
+// on in-flight stores (every un-retired store sits in the fetch queue or
+// the ROB).
+func newFrontend(p *program.Program, mem *emu.Memory, storeBound int) *frontend {
+	f := &frontend{prog: p, mem: mem, pc: p.Entry}
+	f.storeBuf = make([]storeRec, 2*storeBound)
+	f.stores = f.storeBuf[:0]
+	return f
+}
+
+// newDynUop hands out one zeroed DynUop from the slab.
+func (f *frontend) newDynUop() *DynUop {
+	if len(f.slab) == 0 {
+		// Amortized slab refill: one allocation per slabSize micro-ops.
+		f.slab = make([]DynUop, slabSize) //brlint:allow hot-path-alloc
+	}
+	d := &f.slab[0]
+	f.slab = f.slab[1:]
+	return d
 }
 
 // Load implements emu.MemView: committed memory patched with in-flight
@@ -114,14 +142,17 @@ func (f *frontend) fetchUop(seq uint64) *DynUop {
 		f.invalid = true
 		return nil
 	}
-	d := &DynUop{Seq: seq, U: u}
+	d := f.newDynUop()
+	d.Seq = seq
+	d.U = u
 	st := emu.State{Regs: f.regs, PC: f.pc}
 	d.Res = st.Step(u, f)
 	f.regs = st.Regs
 	f.pc = st.PC
 	switch u.Op {
 	case isa.OpSt:
-		f.stores = append(f.stores, storeRec{d: d, addr: d.Res.MemAddr, size: d.Res.MemSize, val: d.Res.StoreVal})
+		f.stores = pushQueue(f.storeBuf, f.stores,
+			storeRec{d: d, addr: d.Res.MemAddr, size: d.Res.MemSize, val: d.Res.StoreVal})
 	case isa.OpLd:
 		// Record the youngest older in-flight store this load overlaps:
 		// the backend forwards from it rather than accessing the cache.

@@ -50,6 +50,11 @@ type Config struct {
 
 	// UopBytes is the footprint of one micro-op in the instruction cache.
 	UopBytes uint64
+
+	// DisableCycleSkip turns off the dead-cycle fast-forward in Run. The
+	// skip is result-invariant (pinned by the skip-equivalence test); this
+	// knob exists so that test can compare both modes.
+	DisableCycleSkip bool
 }
 
 // Validate checks the pipeline geometry: a malformed width or zero-sized
@@ -159,8 +164,10 @@ type DynUop struct {
 	// the consumed prediction-queue slot reference here).
 	ExtData interface{}
 
-	// Scheduling state.
-	prods    []*DynUop
+	// Scheduling state. prods is inline storage for the (at most three)
+	// in-flight producers rename resolves; nprods is the live count.
+	prods    [3]*DynUop
+	nprods   uint8
 	storeDep *DynUop
 	State    UopState
 	ReadyAt  uint64 // earliest dispatch cycle (fetch + frontend depth)
@@ -213,6 +220,10 @@ type Extension interface {
 	// info reports the core resources left over this cycle, which the
 	// Core-Only DCE variant borrows.
 	Tick(now uint64, info TickInfo)
+	// Idle reports that the extension has no in-flight work, i.e. a Tick
+	// would be a pure no-op. The core's dead-cycle skip consults it before
+	// fast-forwarding through empty cycles.
+	Idle() bool
 }
 
 // TickInfo reports per-cycle core resource slack to the extension.

@@ -40,6 +40,13 @@ func (s *Suite) resumeActive() bool {
 	return s.opts.Resume && s.cacheEnabled()
 }
 
+// shareActive reports whether warmup-snapshot sharing applies to this
+// suite's runs. Resume takes precedence: its stride-barrier schedule owns
+// the snapshot machinery (see Options.ShareWarmup).
+func (s *Suite) shareActive() bool {
+	return s.opts.ShareWarmup && !s.resumeActive()
+}
+
 // resumeStride picks the barrier stride for resumable runs: four snapshots
 // across the measured budget, matching between an interrupted run and its
 // uninterrupted reference because it depends only on the budget.
@@ -52,22 +59,28 @@ func resumeStride(instrs uint64) uint64 {
 
 // cacheID content-addresses one run: the suite key plus everything that
 // changes the bytes a run produces — the envelope format, the Result codec
-// version, and the barrier stride (barriers are observable in the result).
-func (s *Suite) cacheID(key string, stride uint64) string {
+// version, the barrier stride (barriers are observable in the result), and
+// WarmupBarrier mode (whose boundary barrier and deferred BR attach are
+// observable too). The mode suffix is appended only when the mode is on, so
+// every pre-existing cache entry keeps its address.
+func (s *Suite) cacheID(key string, cfg sim.Config) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|fmt%d|res%d|stride%d", key, brstate.FormatVersion, resultStateVersion, stride)
+	fmt.Fprintf(h, "%s|fmt%d|res%d|stride%d", key, brstate.FormatVersion, resultStateVersion, cfg.SnapshotStride)
+	if cfg.WarmupBarrier {
+		fmt.Fprintf(h, "|warmbar1")
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // cachePath is the completed-result file for a run key.
-func (s *Suite) cachePath(key string, stride uint64) string {
-	return filepath.Join(s.opts.CacheDir, "run-"+s.cacheID(key, stride)+".brres")
+func (s *Suite) cachePath(key string, cfg sim.Config) string {
+	return filepath.Join(s.opts.CacheDir, "run-"+s.cacheID(key, cfg)+".brres")
 }
 
 // partPath is the in-flight barrier-snapshot file for a run key; it exists
 // only between a run's first barrier and its completion.
-func (s *Suite) partPath(key string, stride uint64) string {
-	return filepath.Join(s.opts.CacheDir, "run-"+s.cacheID(key, stride)+".part")
+func (s *Suite) partPath(key string, cfg sim.Config) string {
+	return filepath.Join(s.opts.CacheDir, "run-"+s.cacheID(key, cfg)+".part")
 }
 
 // cacheLoad returns the cached result for key, or ok=false on any miss —
@@ -77,7 +90,7 @@ func (s *Suite) cacheLoad(key string, cfg sim.Config) (*sim.Result, bool) {
 	if !s.cacheEnabled() {
 		return nil, false
 	}
-	blob, err := os.ReadFile(s.cachePath(key, cfg.SnapshotStride))
+	blob, err := os.ReadFile(s.cachePath(key, cfg))
 	if err != nil {
 		return nil, false
 	}
@@ -116,7 +129,7 @@ func (s *Suite) cacheStore(key string, cfg sim.Config, res *sim.Result) error {
 	w.Section("result", resultStateVersion, func(w *brstate.Writer) {
 		saveResult(w, res)
 	})
-	return atomicWrite(s.cachePath(key, cfg.SnapshotStride), w.Bytes())
+	return atomicWrite(s.cachePath(key, cfg), w.Bytes())
 }
 
 // execute runs one simulation point, resuming from a persisted barrier
@@ -128,7 +141,7 @@ func (s *Suite) execute(w *workloads.Workload, key string, cfg sim.Config) (*sim
 	if !s.resumeActive() {
 		return sim.Run(w, cfg)
 	}
-	part := s.partPath(key, cfg.SnapshotStride)
+	part := s.partPath(key, cfg)
 	cfg.SnapshotFn = func(_ uint64, blob []byte) error {
 		return atomicWrite(part, blob)
 	}
@@ -146,6 +159,24 @@ func (s *Suite) execute(w *workloads.Workload, key string, cfg sim.Config) (*sim
 		os.Remove(part)
 	}
 	return res, err
+}
+
+// executeShared runs one point by forking the workload's shared warmup
+// snapshot: the warmup simulates at most once per (workload, warmup
+// partition of the config) across the whole suite — runner.warmup's
+// singleflight — and each point then restores the blob and simulates only
+// its measure phase. Exactly one noteExecuted per point, as in execute; the
+// shared warmup is bookkeeping-free.
+func (s *Suite) executeShared(w *workloads.Workload, key string, cfg sim.Config) (*sim.Result, error) {
+	warmKey := w.Name + "|" + sim.WarmupKey(cfg)
+	blob, err := s.runner.warmup(warmKey, func() ([]byte, error) {
+		return sim.WarmupSnapshot(w, cfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shared warmup: %w", err)
+	}
+	s.runner.noteExecuted()
+	return sim.RunFromWarmup(w, cfg, blob)
 }
 
 // atomicWrite writes b to path via a temp file in the same directory and a

@@ -198,7 +198,7 @@ func TestResumeCompletesInterruptedRun(t *testing.T) {
 	if len(blobs) < 2 {
 		t.Fatalf("expected multiple barrier snapshots, got %d", len(blobs))
 	}
-	part := s.partPath(key, cfg.SnapshotStride)
+	part := s.partPath(key, cfg)
 	if err := atomicWrite(part, blobs[1]); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestResumeFallsBackOnBadPartFile(t *testing.T) {
 	o.Resume = true
 	s := NewSuite(o)
 	cfg := s.simConfig(vTage64(), o.Instrs)
-	part := s.partPath("mcf_17/tage64/40000", cfg.SnapshotStride)
+	part := s.partPath("mcf_17/tage64/40000", cfg)
 	if err := atomicWrite(part, []byte(strings.Repeat("junk", 64))); err != nil {
 		t.Fatal(err)
 	}

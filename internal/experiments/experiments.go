@@ -59,6 +59,17 @@ type Options struct {
 	// under their own cache address and an interrupted-then-resumed suite
 	// matches an uninterrupted one exactly.
 	Resume bool
+	// ShareWarmup runs every point in sim's WarmupBarrier mode and shares
+	// one warmup snapshot across all points that agree on (workload, warmup
+	// partition of the config) — a sweep warms up once per workload instead
+	// of once per point. Barrier-mode results differ from default-mode ones
+	// (the boundary barrier and the deferred Branch Runahead attach are part
+	// of the semantics), so they live under their own cache address; they
+	// are byte-identical across Jobs values and identical to a
+	// straight-through WarmupBarrier run of each point. Resume takes
+	// precedence when both are set: its stride-barrier schedule owns the
+	// snapshot machinery.
+	ShareWarmup bool
 }
 
 // DefaultOptions returns a configuration that regenerates every figure in
@@ -169,7 +180,12 @@ func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.execute(w, key, cfg)
+		var res *sim.Result
+		if s.shareActive() && cfg.Warmup > 0 {
+			res, err = s.executeShared(w, key, cfg)
+		} else {
+			res, err = s.execute(w, key, cfg)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s under %s: %w", wl, v.key, err)
 		}
@@ -194,6 +210,8 @@ func (s *Suite) simConfig(v variant, instrs uint64) sim.Config {
 	}
 	if s.resumeActive() {
 		cfg.SnapshotStride = resumeStride(instrs)
+	} else if s.opts.ShareWarmup {
+		cfg.WarmupBarrier = true
 	}
 	return cfg
 }

@@ -27,6 +27,7 @@ type runner struct {
 
 	mu       sync.Mutex
 	entries  map[string]*entry
+	warmups  map[string]*warmEntry
 	executed int // simulations actually executed (deduplicated requests excluded)
 }
 
@@ -35,6 +36,13 @@ type runner struct {
 type entry struct {
 	done chan struct{}
 	res  *sim.Result
+	err  error
+}
+
+// warmEntry is one singleflight slot for a shared warmup snapshot.
+type warmEntry struct {
+	done chan struct{}
+	blob []byte
 	err  error
 }
 
@@ -47,6 +55,7 @@ func newRunner(jobs int) *runner {
 	return &runner{
 		sem:     make(chan struct{}, jobs),
 		entries: make(map[string]*entry),
+		warmups: make(map[string]*warmEntry),
 	}
 }
 
@@ -69,6 +78,28 @@ func (r *runner) do(key string, compute func() (*sim.Result, error)) (*sim.Resul
 
 	close(e.done)
 	return e.res, e.err
+}
+
+// warmup returns the shared warmup blob for key, invoking compute at most
+// once per key across all concurrent callers. Unlike do, it acquires no
+// worker slot: warmups happen inside a run's compute, whose caller already
+// holds a slot, so computing on that slot keeps the pool deadlock-free even
+// at one job. Duplicate requesters idle on done holding their slots — the
+// warmup they need is already on a core.
+func (r *runner) warmup(key string, compute func() ([]byte, error)) ([]byte, error) {
+	r.mu.Lock()
+	if e, ok := r.warmups[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.blob, e.err
+	}
+	e := &warmEntry{done: make(chan struct{})}
+	r.warmups[key] = e
+	r.mu.Unlock()
+
+	e.blob, e.err = compute()
+	close(e.done)
+	return e.blob, e.err
 }
 
 // noteExecuted records one actually-executed simulation. It is called from

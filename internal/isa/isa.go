@@ -335,48 +335,75 @@ func (u *Uop) HasDst() bool {
 // DstRegs appends the architectural registers written by the micro-op to
 // buf and returns the extended slice. Compare/test write RegFlags.
 func (u *Uop) DstRegs(buf []Reg) []Reg {
+	var tmp [2]Reg
+	return append(buf, tmp[:u.DstRegN(&tmp)]...)
+}
+
+// DstRegN writes the registers written by the micro-op into dst and returns
+// the count (at most two: an architectural destination plus RegFlags). It is
+// the allocation-free variant of DstRegs for per-retire hot loops.
+func (u *Uop) DstRegN(dst *[2]Reg) int {
+	n := 0
 	if u.HasDst() {
-		buf = append(buf, u.Dst)
+		dst[n] = u.Dst
+		n++
 	}
 	if u.Op.WritesFlags() {
-		buf = append(buf, RegFlags)
+		dst[n] = RegFlags
+		n++
 	}
-	return buf
+	return n
+}
+
+// SrcRegN writes the registers read by the micro-op into src and returns the
+// count (at most three: two address/operand sources plus a store's data
+// register). It is the allocation-free variant of SrcRegs for per-retire hot
+// loops.
+func (u *Uop) SrcRegN(src *[4]Reg) int {
+	switch u.Op {
+	case OpNop, OpMovI, OpJmp, OpHalt:
+		return 0
+	case OpBr:
+		src[0] = RegFlags
+		return 1
+	case OpLd:
+		src[0] = u.Src1
+		if u.Scale > 0 && u.Src2.Valid() {
+			src[1] = u.Src2
+			return 2
+		}
+		return 1
+	case OpSt:
+		src[0] = u.Src1
+		n := 1
+		if u.Scale > 0 && u.Src2.Valid() {
+			src[n] = u.Src2
+			n++
+		}
+		if u.Dst.Valid() {
+			src[n] = u.Dst // data register
+			n++
+		}
+		return n
+	case OpMov, OpSext:
+		src[0] = u.Src1
+		return 1
+	default: // two-operand ALU / compare
+		src[0] = u.Src1
+		if !u.UseImm && u.Src2.Valid() {
+			src[1] = u.Src2
+			return 2
+		}
+		return 1
+	}
 }
 
 // SrcRegs appends the architectural registers read by the micro-op to buf
 // and returns the extended slice. Conditional branches read RegFlags;
 // stores read their data register.
 func (u *Uop) SrcRegs(buf []Reg) []Reg {
-	switch u.Op {
-	case OpNop, OpMovI, OpJmp, OpHalt:
-		return buf
-	case OpBr:
-		return append(buf, RegFlags)
-	case OpLd:
-		buf = append(buf, u.Src1)
-		if u.Scale > 0 && u.Src2.Valid() {
-			buf = append(buf, u.Src2)
-		}
-		return buf
-	case OpSt:
-		buf = append(buf, u.Src1)
-		if u.Scale > 0 && u.Src2.Valid() {
-			buf = append(buf, u.Src2)
-		}
-		if u.Dst.Valid() {
-			buf = append(buf, u.Dst) // data register
-		}
-		return buf
-	case OpMov, OpSext:
-		return append(buf, u.Src1)
-	default: // two-operand ALU / compare
-		buf = append(buf, u.Src1)
-		if !u.UseImm && u.Src2.Valid() {
-			buf = append(buf, u.Src2)
-		}
-		return buf
-	}
+	var tmp [4]Reg
+	return append(buf, tmp[:u.SrcRegN(&tmp)]...)
 }
 
 // Validate checks structural well-formedness of the micro-op. It does not

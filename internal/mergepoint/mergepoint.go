@@ -241,7 +241,7 @@ func (p *Predictor) OnFlush(cause *core.DynUop, squashed []*core.DynUop) {
 		// this instruction: if this instruction is the merge point, its own
 		// writes happen on both paths and are not direction-dependent.
 		p.insert(d.U.PC, running)
-		for _, r := range d.U.DstRegs(dstBuf[:0]) {
+		for _, r := range dstBuf[:d.U.DstRegN(&dstBuf)] {
 			running.AddReg(r)
 		}
 		if d.IsStore() {
@@ -309,7 +309,7 @@ func (p *Predictor) searchStep(d *core.DynUop) {
 		return
 	}
 	var dstBuf [2]isa.Reg
-	for _, r := range d.U.DstRegs(dstBuf[:0]) {
+	for _, r := range dstBuf[:d.U.DstRegN(&dstBuf)] {
 		p.correctDest.AddReg(r)
 	}
 	if d.IsStore() {
@@ -328,7 +328,7 @@ func (p *Predictor) poisonStep(d *core.DynUop) {
 		// an affectee" — a self-affector, whose dependence chain must be
 		// direction-tagged rather than wildcard-tagged.
 		var srcBuf [4]isa.Reg
-		for _, r := range d.U.SrcRegs(srcBuf[:0]) {
+		for _, r := range srcBuf[:d.U.SrcRegN(&srcBuf)] {
 			if p.poison.HasReg(r) {
 				p.C.Inc("self_affectors")
 				p.sink.Affector(p.branchPC, p.branchPC)
@@ -346,7 +346,7 @@ func (p *Predictor) poisonStep(d *core.DynUop) {
 	// Does this micro-op source poison?
 	var srcBuf [4]isa.Reg
 	poisoned := false
-	for _, r := range d.U.SrcRegs(srcBuf[:0]) {
+	for _, r := range srcBuf[:d.U.SrcRegN(&srcBuf)] {
 		if p.poison.HasReg(r) {
 			poisoned = true
 			break
@@ -364,7 +364,7 @@ func (p *Predictor) poisonStep(d *core.DynUop) {
 	}
 	var dstBuf [2]isa.Reg
 	if poisoned {
-		for _, r := range d.U.DstRegs(dstBuf[:0]) {
+		for _, r := range dstBuf[:d.U.DstRegN(&dstBuf)] {
 			p.poison.AddReg(r)
 		}
 		if d.IsStore() {
@@ -372,7 +372,7 @@ func (p *Predictor) poisonStep(d *core.DynUop) {
 		}
 	} else {
 		// Overwriting a poisoned register with clean data clears it.
-		for _, r := range d.U.DstRegs(dstBuf[:0]) {
+		for _, r := range dstBuf[:d.U.DstRegN(&dstBuf)] {
 			if p.poison.HasReg(r) {
 				p.poison.Regs &^= 1 << uint(r)
 			}

@@ -339,7 +339,7 @@ func (x *extractor) walk(branchPC uint64) (Tag, error) {
 		if u.Op == isa.OpJmp || u.Op == isa.OpNop || u.Op == isa.OpHalt {
 			continue
 		}
-		dsts := u.DstRegs(dstBuf[:0])
+		dsts := dstBuf[:u.DstRegN(&dstBuf)]
 		if len(dsts) == 0 {
 			continue // stores and other non-writers never match directly
 		}

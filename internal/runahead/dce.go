@@ -69,8 +69,19 @@ type Instance struct {
 	specDepth     int
 	// initiated tracks successor chains already launched from this
 	// instance, preventing double initiation between the early and
-	// completion trigger points.
-	initiated map[*Chain]bool
+	// completion trigger points. A linear list, not a map: an instance has
+	// a handful of successor chains at most.
+	initiated []*Chain
+}
+
+// hasInitiated reports whether ch was already launched from this instance.
+func (in *Instance) hasInitiated(ch *Chain) bool {
+	for _, c := range in.initiated {
+		if c == ch {
+			return true
+		}
+	}
+	return false
 }
 
 func (in *Instance) done() bool { return in.completed || in.killed }
@@ -106,6 +117,10 @@ type DCE struct {
 	activeRun int // count of initiated-but-not-done instances (the window)
 	nextID    uint64
 	deferred  []deferredInit
+	// deferredSpare is the detached backing retryDeferred swaps with
+	// deferred each Tick, so the retry loop reuses two arrays forever
+	// instead of reallocating per cycle. Pure scratch between Ticks.
+	deferredSpare []deferredInit //brlint:allow snapshot-coverage
 	// spareIssue/spareRS are per-Tick scratch (Core-Only: the cycle's
 	// borrowed issue slots), rewritten before each use.
 	spareIssue int //brlint:allow snapshot-coverage
@@ -278,6 +293,29 @@ func (e *DCE) kill(now uint64, in *Instance) {
 // references into parent for continuous execution). Returns nil when the
 // window or the prediction queue is full.
 func (e *DCE) initiate(now uint64, ch *Chain, env *[isa.NumRegs]envVal, parent *Instance) *Instance {
+	q := e.admit(now, ch)
+	if q == nil {
+		return nil
+	}
+	return e.launch(now, ch, env, parent, q)
+}
+
+// initiateFrom is initiate for a child inheriting parent's environment; the
+// environment is built only after the admission checks pass, so a deferred
+// initiation retried against a full window costs two comparisons, not a
+// whole-register-file copy.
+func (e *DCE) initiateFrom(now uint64, ch *Chain, parent *Instance) *Instance {
+	q := e.admit(now, ch)
+	if q == nil {
+		return nil
+	}
+	env := childEnv(parent)
+	return e.launch(now, ch, &env, parent, q)
+}
+
+// admit performs initiation's capacity checks — instance window and
+// prediction queue — counting each refusal exactly as initiate always has.
+func (e *DCE) admit(now uint64, ch *Chain) *Queue {
 	if !e.windowFree() {
 		e.ctr.initWindowFull.Inc()
 		return nil
@@ -287,20 +325,31 @@ func (e *DCE) initiate(now uint64, ch *Chain, env *[isa.NumRegs]envVal, parent *
 		e.ctr.initQueueFull.Inc()
 		return nil
 	}
+	return q
+}
+
+// launch builds the admitted instance.
+func (e *DCE) launch(now uint64, ch *Chain, env *[isa.NumRegs]envVal, parent *Instance, q *Queue) *Instance {
 	slot := q.alloc
 	*q.slot(slot) = pqSlot{}
 	q.alloc++
 
 	n := len(ch.Uops)
+	// Two backing allocations instead of six: the per-local and per-uop
+	// word and bool arrays are carved from shared slabs (full-cap slices so
+	// no region can grow into its neighbour).
+	nl := ch.NumLocals
+	words := make([]uint64, nl+n)
+	flags := make([]bool, nl+3*n)
 	in := &Instance{
 		id:       e.nextID,
 		chain:    ch,
-		vals:     make([]uint64, ch.NumLocals),
-		ready:    make([]bool, ch.NumLocals),
-		issued:   make([]bool, n),
-		executed: make([]bool, n),
-		doneAt:   make([]uint64, n),
-		outcomes: make([]bool, n),
+		vals:     words[:nl:nl],
+		doneAt:   words[nl:],
+		ready:    flags[:nl:nl],
+		issued:   flags[nl : nl+n : nl+n],
+		executed: flags[nl+n : nl+2*n : nl+2*n],
+		outcomes: flags[nl+2*n:],
 		env:      *env,
 		q:        q,
 		slotIdx:  slot,
@@ -400,19 +449,15 @@ func (e *DCE) onInitiated(now uint64, in *Instance) {
 }
 
 func (e *DCE) tryInitiateChild(now uint64, parent *Instance, ch *Chain, specDepth int) {
-	if parent.initiated == nil {
-		parent.initiated = make(map[*Chain]bool, 2)
-	}
-	if parent.initiated[ch] {
+	if parent.hasInitiated(ch) {
 		return
 	}
-	env := childEnv(parent)
-	if child := e.initiate(now, ch, &env, parent); child != nil {
+	if child := e.initiateFrom(now, ch, parent); child != nil {
 		child.specDepth = specDepth
-		parent.initiated[ch] = true
+		parent.initiated = append(parent.initiated, ch)
 	} else if len(e.deferred) < 64 {
 		e.deferred = append(e.deferred, deferredInit{parent: parent, chain: ch})
-		parent.initiated[ch] = true // the deferral owns the retry
+		parent.initiated = append(parent.initiated, ch) // the deferral owns the retry
 	}
 }
 
@@ -478,6 +523,13 @@ func (e *DCE) flushYoungerThan(now uint64, in *Instance) {
 		}
 	}
 	e.deferred = live
+}
+
+// Idle reports that the engine has no in-flight work: no resident chain
+// instances, nothing runnable and no deferred initializations, so every
+// phase of Tick would fall straight through.
+func (e *DCE) Idle() bool {
+	return len(e.all) == 0 && len(e.run) == 0 && len(e.deferred) == 0
 }
 
 // Tick advances the engine one cycle. spareIssue/spareRS report the core's
@@ -611,18 +663,19 @@ func (e *DCE) retryDeferred(now uint64) {
 	}
 	// Detach the list first: a successful initiation can defer new child
 	// initiations, which must land on a fresh list rather than be lost to
-	// aliasing.
+	// aliasing. The detached backing becomes next Tick's spare, so the two
+	// arrays ping-pong with no per-cycle allocation.
 	pending := e.deferred
-	e.deferred = nil
+	e.deferred = e.deferredSpare[:0]
 	for _, d := range pending {
 		if d.parent.killed {
 			continue
 		}
-		env := childEnv(d.parent)
-		if e.initiate(now, d.chain, &env, d.parent) == nil {
+		if e.initiateFrom(now, d.chain, d.parent) == nil {
 			e.deferred = append(e.deferred, d)
 		}
 	}
+	e.deferredSpare = pending[:0]
 }
 
 // issue schedules ready chain micro-ops onto the DCE's functional units

@@ -412,6 +412,10 @@ func (s *System) Tick(now uint64, info core.TickInfo) {
 	s.dce.Tick(now, info.SpareIssueSlots, info.SpareRS)
 }
 
+// Idle implements core.Extension: it reports that a Tick would be a pure
+// no-op, letting the core's dead-cycle skip fast-forward past the system.
+func (s *System) Idle() bool { return s.dce.Idle() }
+
 // UopsIssued returns the DCE's total issued micro-ops (Figure 3's numerator
 // contribution).
 func (s *System) UopsIssued() uint64 { return s.dce.ctr.uopsIssued.Get() }

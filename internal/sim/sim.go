@@ -58,8 +58,15 @@ func newPredictor(k PredictorKind) bpred.Predictor {
 type Config struct {
 	Core      core.Config   `brphase:"warmup"`
 	Predictor PredictorKind `brphase:"warmup"`
-	// BR enables Branch Runahead when non-nil.
-	BR *runahead.Config `brphase:"warmup"`
+	// BR enables Branch Runahead when non-nil. It is measure-only under the
+	// sharing contract: sharing is legal only in WarmupBarrier mode, where
+	// the runahead system attaches at the (drained, quiesced) warmup/measure
+	// boundary and therefore cannot influence the warmup phase. In the
+	// default mode the system attaches at reset and does shape warmup — but
+	// default-mode runs never share a warmup snapshot (WarmupSnapshot and
+	// RunFromWarmup refuse them), so the partition claim is never relied on
+	// there.
+	BR *runahead.Config `brphase:"measure"`
 	// Warmup instructions excluded from the measured statistics.
 	Warmup uint64 `brphase:"warmup"`
 	// MaxInstrs is the measured instruction budget.
@@ -85,6 +92,17 @@ type Config struct {
 	// run. Snapshot emission observes state without changing it, so the sink
 	// is measure-only.
 	SnapshotFn func(retired uint64, blob []byte) error `brphase:"measure"`
+	// WarmupBarrier, when set, ends the warmup phase with a drain+quiesce
+	// barrier (as SnapshotStride does) and defers attaching the Branch
+	// Runahead system to that boundary instead of reset. This is the mode
+	// warmup-snapshot sharing requires: with BR out of the warmup phase
+	// entirely, every config agreeing on the warmup-tagged fields reaches a
+	// bit-identical boundary, so one warmup serves N measure configs
+	// (WarmupSnapshot / RunFromWarmup). A WarmupBarrier run is bit-identical
+	// to a fork from its own warmup snapshot, but not to a default-mode run
+	// of the same config — the boundary barrier and the deferred BR attach
+	// are part of the configured semantics.
+	WarmupBarrier bool `brphase:"warmup"`
 }
 
 // Validate checks the whole simulation configuration, including the nested
@@ -201,11 +219,12 @@ func newMachine(w *workloads.Workload, cfg Config) (*machine, error) {
 	hier := NewHierarchy()
 	bp := newPredictor(cfg.Predictor)
 	c := core.New(cfg.Core, w.Prog, bp, hier, nil)
-	var sys *runahead.System
-	if cfg.BR != nil {
-		sys = runahead.New(*cfg.BR, hier.DCache, c.Memory())
-		sys.ShareTLB(hier.DTLB)
-		c.SetExtension(sys)
+	m := &machine{w: w, cfg: cfg, hier: hier, bp: bp, c: c}
+	if !cfg.WarmupBarrier {
+		// Default mode: the runahead system attaches at reset. In
+		// WarmupBarrier mode attachBR installs it at the warmup/measure
+		// boundary instead.
+		m.attachBR()
 	}
 	if tr := cfg.Trace; tr.Enabled() {
 		c.SetTrace(tr)
@@ -215,11 +234,25 @@ func newMachine(w *workloads.Workload, cfg Config) (*machine, error) {
 		if d, ok := hier.Mem.(*dram.DRAM); ok {
 			d.SetTracer(tr)
 		}
-		if sys != nil {
-			sys.SetTracer(tr)
-		}
 	}
-	return &machine{w: w, cfg: cfg, hier: hier, bp: bp, c: c, sys: sys}, nil
+	return m, nil
+}
+
+// attachBR builds and attaches the Branch Runahead system if the config asks
+// for one and none is attached yet. It is safe at reset and at a drained,
+// quiesced barrier (the warmup/measure boundary in WarmupBarrier mode): in
+// both cases the pipeline is empty and the system starts from zero state.
+func (m *machine) attachBR() {
+	if m.cfg.BR == nil || m.sys != nil {
+		return
+	}
+	sys := runahead.New(*m.cfg.BR, m.hier.DCache, m.c.Memory())
+	sys.ShareTLB(m.hier.DTLB)
+	m.c.SetExtension(sys)
+	if tr := m.cfg.Trace; tr.Enabled() {
+		sys.SetTracer(tr)
+	}
+	m.sys = sys
 }
 
 // barrier drains the pipeline and discards the runahead engine's speculative
@@ -256,6 +289,10 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	if err := m.warmup(); err != nil {
 		return nil, err
 	}
+	// In WarmupBarrier mode the runahead system attaches here, at the
+	// drained boundary; the boundary snapshot then sees it at zero state,
+	// exactly as a run forked from a warmup blob does.
+	m.attachBR()
 	boundary := snapshot(m.c, m.sys, m.hier)
 	if tr := cfg.Trace; tr.Enabled() {
 		tr.Emit(trace.Event{Cycle: boundary.cycles, Kind: trace.KindPhase, Arg: trace.PhaseMeasure})
@@ -284,7 +321,7 @@ func (m *machine) warmup() error {
 			return fmt.Errorf("sim %s: warmup: %w", m.w.Name, err)
 		}
 	}
-	if m.cfg.SnapshotStride > 0 {
+	if m.cfg.SnapshotStride > 0 || m.cfg.WarmupBarrier {
 		if err := m.barrier(); err != nil {
 			return fmt.Errorf("sim %s: warmup barrier: %w", m.w.Name, err)
 		}

@@ -48,6 +48,20 @@ func (m *machine) saveState(boundary snap) ([]byte, error) {
 		w.U64(m.cfg.SnapshotStride)
 		w.Bool(m.sys != nil)
 	})
+	m.saveComponentSections(w, saver)
+	if m.sys != nil {
+		w.Section("br", runahead.SystemStateVersion, m.sys.SaveState)
+	}
+	w.Section("boundary", metaVersion, func(w *brstate.Writer) {
+		saveSnap(w, boundary)
+	})
+	return w.Bytes(), nil
+}
+
+// saveComponentSections writes the per-component sections common to full
+// barrier snapshots and warmup-only blobs: everything except the runahead
+// system and the boundary counter snapshot.
+func (m *machine) saveComponentSections(w *brstate.Writer, saver brstate.Saver) {
 	w.Section("mem", emu.MemoryStateVersion, m.c.Memory().SaveState)
 	w.Section("core", core.StateVersion, m.c.SaveState)
 	w.Section("bpred", predictorStateVersion(m.cfg.Predictor), saver.SaveState)
@@ -63,13 +77,6 @@ func (m *machine) saveState(boundary snap) ([]byte, error) {
 	if d, ok := m.hier.Mem.(*dram.DRAM); ok {
 		w.Section("dram", dram.StateVersion, d.SaveState)
 	}
-	if m.sys != nil {
-		w.Section("br", runahead.SystemStateVersion, m.sys.SaveState)
-	}
-	w.Section("boundary", metaVersion, func(w *brstate.Writer) {
-		saveSnap(w, boundary)
-	})
-	return w.Bytes(), nil
 }
 
 // loadState restores a snapshot produced by saveState into a freshly-built
@@ -115,46 +122,59 @@ func (m *machine) loadState(blob []byte) (snap, error) {
 		return boundary, fmt.Errorf("sim: snapshot: %w", err)
 	}
 
-	load := func(name string, version uint32, ld func(*brstate.Reader) error) {
-		if err != nil {
-			return
-		}
-		var inner error
-		r.Section(name, version, func(r *brstate.Reader) { inner = ld(r) })
-		if secErr := r.Err(); secErr != nil {
-			err = secErr
-		} else {
-			err = inner
-		}
-		if err != nil {
-			err = fmt.Errorf("sim: snapshot section %q: %w", name, err)
-		}
-	}
-	load("mem", emu.MemoryStateVersion, m.c.Memory().LoadState)
-	load("core", core.StateVersion, m.c.LoadState)
-	load("bpred", predictorStateVersion(m.cfg.Predictor), loader.LoadState)
-	load("l1i", cache.CacheStateVersion, m.hier.ICache.LoadState)
-	load("l1d", cache.CacheStateVersion, m.hier.DCache.LoadState)
-	load("l2", cache.CacheStateVersion, m.hier.L2.LoadState)
-	if pf := m.hier.DCache.Prefetcher(); pf != nil {
-		load("pf", cache.PrefetcherStateVersion, pf.LoadState)
-	}
-	if m.hier.DTLB != nil {
-		load("dtlb", cache.TLBStateVersion, m.hier.DTLB.LoadState)
-	}
-	if d, ok := m.hier.Mem.(*dram.DRAM); ok {
-		load("dram", dram.StateVersion, d.LoadState)
-	}
+	l := &sectionLoader{r: r}
+	m.loadComponentSections(l, loader)
 	if m.sys != nil {
-		load("br", runahead.SystemStateVersion, func(r *brstate.Reader) error {
+		l.load("br", runahead.SystemStateVersion, func(r *brstate.Reader) error {
 			return m.sys.LoadState(r, m.w.Prog)
 		})
 	}
-	load("boundary", metaVersion, func(r *brstate.Reader) error {
+	l.load("boundary", metaVersion, func(r *brstate.Reader) error {
 		boundary = loadSnap(r)
 		return r.Err()
 	})
-	return boundary, err
+	return boundary, l.err
+}
+
+// sectionLoader threads a sticky error through sequential section loads.
+type sectionLoader struct {
+	r   *brstate.Reader
+	err error
+}
+
+func (l *sectionLoader) load(name string, version uint32, ld func(*brstate.Reader) error) {
+	if l.err != nil {
+		return
+	}
+	var inner error
+	l.r.Section(name, version, func(r *brstate.Reader) { inner = ld(r) })
+	if secErr := l.r.Err(); secErr != nil {
+		l.err = secErr
+	} else {
+		l.err = inner
+	}
+	if l.err != nil {
+		l.err = fmt.Errorf("sim: snapshot section %q: %w", name, l.err)
+	}
+}
+
+// loadComponentSections restores the sections saveComponentSections wrote.
+func (m *machine) loadComponentSections(l *sectionLoader, loader brstate.Loader) {
+	l.load("mem", emu.MemoryStateVersion, m.c.Memory().LoadState)
+	l.load("core", core.StateVersion, m.c.LoadState)
+	l.load("bpred", predictorStateVersion(m.cfg.Predictor), loader.LoadState)
+	l.load("l1i", cache.CacheStateVersion, m.hier.ICache.LoadState)
+	l.load("l1d", cache.CacheStateVersion, m.hier.DCache.LoadState)
+	l.load("l2", cache.CacheStateVersion, m.hier.L2.LoadState)
+	if pf := m.hier.DCache.Prefetcher(); pf != nil {
+		l.load("pf", cache.PrefetcherStateVersion, pf.LoadState)
+	}
+	if m.hier.DTLB != nil {
+		l.load("dtlb", cache.TLBStateVersion, m.hier.DTLB.LoadState)
+	}
+	if d, ok := m.hier.Mem.(*dram.DRAM); ok {
+		l.load("dram", dram.StateVersion, d.LoadState)
+	}
 }
 
 func saveSnap(w *brstate.Writer, s snap) {
@@ -224,6 +244,9 @@ func Resume(w *workloads.Workload, cfg Config, blob []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A WarmupBarrier-mode snapshot was taken after the boundary attach, so
+	// its blob carries a runahead section; attach before restoring it.
+	m.attachBR()
 	boundary, err := m.loadState(blob)
 	if err != nil {
 		return nil, fmt.Errorf("sim %s: resume: %w", w.Name, err)

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/brstate"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Warmup-snapshot forking. A warmup blob captures the machine at the
+// warmup/measure boundary of a WarmupBarrier-mode run — before the Branch
+// Runahead system attaches — so one warmup serves every measure config that
+// agrees on the warmup partition of Config. Two guards keep sharing honest:
+// statically, brlint's config-partition rule proves warmup-phase code never
+// reads a `brphase:"measure"` field; dynamically, the blob carries the
+// WarmupKey of the config that produced it and RunFromWarmup refuses a blob
+// whose key differs from the restoring config's.
+const warmupBlobVersion = 1
+
+// WarmupKey returns a deterministic fingerprint of the warmup partition of
+// cfg: every field tagged `brphase:"warmup"`, rendered field-by-field. Two
+// configs with equal keys reach bit-identical warmup boundaries in
+// WarmupBarrier mode and may share one warmup snapshot.
+func WarmupKey(cfg Config) string {
+	v := reflect.ValueOf(cfg)
+	t := v.Type()
+	var b strings.Builder
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Tag.Get("brphase") != "warmup" {
+			continue
+		}
+		fv := v.Field(i)
+		if tr, ok := fv.Interface().(*trace.Tracer); ok {
+			// Only the enabled bit is warmup-visible: warmup code checks
+			// Enabled() before emitting, never the sink's identity.
+			fmt.Fprintf(&b, "%s=trace:%v;", f.Name, tr.Enabled())
+			continue
+		}
+		switch fv.Kind() {
+		case reflect.Ptr, reflect.Func, reflect.Map, reflect.Slice, reflect.Chan, reflect.Interface:
+			// A reference-typed warmup field has no canonical value rendering;
+			// adding one requires an explicit case above, not a silent %+v.
+			panic(fmt.Sprintf("sim: WarmupKey cannot fingerprint warmup-tagged field %s (kind %s)",
+				f.Name, fv.Kind()))
+		}
+		fmt.Fprintf(&b, "%s=%+v;", f.Name, fv.Interface())
+	}
+	return b.String()
+}
+
+// shareable reports whether cfg may participate in warmup-snapshot sharing.
+func shareable(cfg Config) error {
+	if !cfg.WarmupBarrier {
+		return fmt.Errorf("sim: warmup sharing requires WarmupBarrier mode")
+	}
+	if cfg.Trace.Enabled() {
+		// Forked runs would silently miss the warmup-phase trace events.
+		return fmt.Errorf("sim: warmup sharing is incompatible with tracing")
+	}
+	return nil
+}
+
+// WarmupSnapshot drives w from reset to the warmup/measure boundary under
+// cfg (which must be in WarmupBarrier mode) and returns the serialized
+// boundary state. The blob restores under any config whose WarmupKey equals
+// cfg's, regardless of its measure-only fields.
+func WarmupSnapshot(w *workloads.Workload, cfg Config) ([]byte, error) {
+	if err := shareable(cfg); err != nil {
+		return nil, err
+	}
+	m, err := newMachine(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	saver, ok := m.bp.(brstate.Saver)
+	if !ok {
+		return nil, fmt.Errorf("sim: predictor %s does not support snapshots", m.bp.Name())
+	}
+	if err := m.warmup(); err != nil {
+		return nil, err
+	}
+	wtr := brstate.NewWriter()
+	wtr.Section("warmmeta", warmupBlobVersion, func(w *brstate.Writer) {
+		w.String(m.w.Name)
+		w.String(WarmupKey(m.cfg))
+	})
+	m.saveComponentSections(wtr, saver)
+	return wtr.Bytes(), nil
+}
+
+// RunFromWarmup restores a WarmupSnapshot blob into a fresh machine and
+// runs the measure phase under cfg, producing a Result bit-identical to a
+// straight-through Run of the same config. The runtime guard re-derives the
+// warmup key and refuses blobs from a config whose warmup-tagged fields
+// differ.
+func RunFromWarmup(w *workloads.Workload, cfg Config, blob []byte) (*Result, error) {
+	if err := shareable(cfg); err != nil {
+		return nil, err
+	}
+	m, err := newMachine(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	loader, ok := m.bp.(brstate.Loader)
+	if !ok {
+		return nil, fmt.Errorf("sim: predictor %s does not support snapshots", m.bp.Name())
+	}
+	r, err := brstate.NewReader(blob)
+	if err != nil {
+		return nil, fmt.Errorf("sim %s: warmup blob: %w", w.Name, err)
+	}
+	var metaErr error
+	r.Section("warmmeta", warmupBlobVersion, func(r *brstate.Reader) {
+		wl := r.String()
+		key := r.String()
+		if r.Err() != nil {
+			return
+		}
+		switch {
+		case wl != m.w.Name:
+			metaErr = fmt.Errorf("blob is for workload %q, not %q", wl, m.w.Name)
+		case key != WarmupKey(m.cfg):
+			metaErr = fmt.Errorf("blob warmup key %q does not match config key %q (a warmup-tagged field differs)",
+				key, WarmupKey(m.cfg))
+		}
+	})
+	if err = r.Err(); err == nil {
+		err = metaErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim %s: warmup blob: %w", w.Name, err)
+	}
+	l := &sectionLoader{r: r}
+	m.loadComponentSections(l, loader)
+	if l.err != nil {
+		return nil, fmt.Errorf("sim %s: warmup blob: %w", w.Name, l.err)
+	}
+	// The blob predates the boundary attach; install the runahead system now
+	// and take the boundary snapshot exactly as Run does after its warmup.
+	m.attachBR()
+	boundary := snapshot(m.c, m.sys, m.hier)
+	return m.measure(boundary)
+}
