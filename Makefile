@@ -43,11 +43,11 @@ race:
 	$(GO) test -race ./internal/sim ./internal/runahead ./internal/experiments/...
 
 ## bench-json: record the simulator-throughput, parallel-suite,
-## warm-cache and shared-warmup-sweep benchmarks as committed JSON for
-## cross-PR comparison. Override BENCH_OUT to compare against a prior
-## snapshot.
-BENCH_OUT ?= BENCH_4.json
+## warm-cache, shared-warmup-sweep and Figure 15 predictor-head-to-head
+## benchmarks as committed JSON for cross-PR comparison. Override
+## BENCH_OUT to compare against a prior snapshot.
+BENCH_OUT ?= BENCH_5.json
 bench-json:
-	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup|BenchmarkSweepWarmupShared|BenchmarkSuiteWarmCacheSpeedup' -run '^$$' -benchtime 3x . \
+	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup|BenchmarkSweepWarmupShared|BenchmarkSuiteWarmCacheSpeedup|BenchmarkFigure15$$' -run '^$$' -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 	@cat $(BENCH_OUT)

@@ -12,6 +12,7 @@ package branchrunahead
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -181,6 +182,34 @@ func BenchmarkFigure14(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(lastRowF(b, t, 2), "mini_energy_delta_pct")
+	}
+}
+
+// BenchmarkFigure15 regenerates the competing-predictor head-to-head and
+// reports every predictor's mean MPKI alone and with Mini Branch
+// Runahead — the paper's orthogonality argument as benchmark metrics.
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewExperiments(benchOptions())
+		t, err := s.Figure15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range t.Rows {
+			if !strings.HasPrefix(row[0], "mean/") {
+				continue
+			}
+			name := strings.TrimPrefix(row[0], "mean/")
+			var alone, withBR float64
+			if _, err := sscan(row[1], &alone); err != nil {
+				b.Fatalf("parse %q: %v", row[1], err)
+			}
+			if _, err := sscan(row[3], &withBR); err != nil {
+				b.Fatalf("parse %q: %v", row[3], err)
+			}
+			b.ReportMetric(alone, name+"_mpki")
+			b.ReportMetric(withBR, name+"_br_mpki")
+		}
 	}
 }
 

@@ -60,11 +60,15 @@ type PredictorKind = sim.PredictorKind
 
 // Baseline predictors.
 const (
-	PredTage64  = sim.PredTage64
-	PredTage80  = sim.PredTage80
-	PredMTage   = sim.PredMTage
-	PredBimodal = sim.PredBimodal
-	PredGshare  = sim.PredGshare
+	PredTage64     = sim.PredTage64
+	PredTage80     = sim.PredTage80
+	PredMTage      = sim.PredMTage
+	PredBimodal    = sim.PredBimodal
+	PredGshare     = sim.PredGshare
+	PredPerceptron = sim.PredPerceptron
+	PredTournament = sim.PredTournament
+	PredLDBP       = sim.PredLDBP
+	PredBullseye   = sim.PredBullseye
 )
 
 // Result holds one run's measured metrics.

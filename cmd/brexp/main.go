@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "all", "all | 1 | 2 | 3 | 5 | 10 | 11top | 11bottom | 12 | 13 | 14 | tables")
+		figure      = flag.String("figure", "all", "all | 1 | 2 | 3 | 5 | 10 | 11top | 11bottom | 12 | 13 | 14 | 15 | tables")
 		quick       = flag.Bool("quick", false, "reduced workload set and budgets")
 		instrs      = flag.Uint64("instrs", 0, "override measured instruction budget per run")
 		warmup      = flag.Uint64("warmup", 0, "override warmup instructions")
@@ -143,6 +143,7 @@ func main() {
 		{"12", s.Figure12},
 		{"13", func() (*stats.Table, error) { t, _, err := s.Figure13(); return t, err }},
 		{"14", s.Figure14},
+		{"15", s.Figure15},
 	}
 
 	emit := func(t *stats.Table) {

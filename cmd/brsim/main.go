@@ -22,7 +22,7 @@ func main() {
 	var (
 		workload  = flag.String("workload", "leela_17", "workload kernel name (-list to enumerate)")
 		config    = flag.String("config", "mini", "baseline | core-only | mini | big")
-		predictor = flag.String("predictor", "tage64", "tage64 | tage80 | mtage | bimodal | gshare")
+		predictor = flag.String("predictor", "tage64", "tage64 | tage80 | mtage | bimodal | gshare | perceptron | tournament | ldbp | bullseye")
 		instrs    = flag.Uint64("instrs", 1_000_000, "measured instruction budget")
 		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions (excluded from stats)")
 		small     = flag.Bool("small", false, "use the small workload scale")
@@ -56,6 +56,14 @@ func main() {
 		cfg.Predictor = br.PredBimodal
 	case "gshare":
 		cfg.Predictor = br.PredGshare
+	case "perceptron":
+		cfg.Predictor = br.PredPerceptron
+	case "tournament":
+		cfg.Predictor = br.PredTournament
+	case "ldbp":
+		cfg.Predictor = br.PredLDBP
+	case "bullseye":
+		cfg.Predictor = br.PredBullseye
 	default:
 		fatalf("unknown predictor %q", *predictor)
 	}

@@ -53,6 +53,18 @@ type Predictor interface {
 	StorageBits() int
 }
 
+// RetireObserver is an optional Predictor extension for predictors that
+// learn from the retired instruction stream beyond branch outcomes (LDBP
+// tracks load values and compare recipes this way). The core type-asserts
+// once at construction and, when implemented, calls ObserveRetire for
+// every retired micro-op in program order. value is the result written to
+// the destination register, when any (the loaded value for loads).
+// Wrong-path micro-ops never retire, so the observer sees exactly the
+// architectural execution stream.
+type RetireObserver interface {
+	ObserveRetire(pc uint64, value uint64)
+}
+
 // ctr2 is a 2-bit saturating counter in [0,3]; >=2 means taken.
 type ctr2 uint8
 

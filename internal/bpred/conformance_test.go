@@ -1,0 +1,169 @@
+package bpred
+
+import (
+	"testing"
+)
+
+// conformancePredictors lists every registered predictor under its
+// constructor; the conformance suite drives each through the same
+// core-shaped lifecycle.
+func conformancePredictors() []struct {
+	name string
+	mk   func() Predictor
+} {
+	return []struct {
+		name string
+		mk   func() Predictor
+	}{
+		{"bimodal", func() Predictor { return NewBimodal(12) }},
+		{"gshare", func() Predictor { return NewGshare(14, 12) }},
+		{"tage64", func() Predictor { return NewTAGESCL64() }},
+		{"tage80", func() Predictor { return NewTAGESCL80() }},
+		{"mtage", func() Predictor { return NewMTAGE() }},
+		{"perceptron", func() Predictor { return NewPerceptron(DefaultPerceptronConfig()) }},
+		{"tournament", func() Predictor { return NewTournament(DefaultTournamentConfig()) }},
+		{"ldbp", func() Predictor { return NewLDBP(DefaultLDBPConfig(), NewTAGESCL64(), ldbpTestProgram()) }},
+		{"bullseye", func() Predictor { return NewBullseye(DefaultBullseyeConfig(), NewTAGESCL64()) }},
+	}
+}
+
+// inflightBranch is one speculatively fetched branch the conformance
+// driver holds open: its prediction-time state plus the resolved outcome.
+type inflightBranch struct {
+	pc    uint64
+	pred  bool
+	taken bool
+	snap  Snapshot
+	info  Info
+}
+
+// conformanceDrive models the core's speculation discipline over a
+// deterministic pseudo-random branch stream with nested in-flight
+// branches: fetch predicts, checkpoints and speculatively advances the
+// history; resolution of the oldest branch either retires it in order or —
+// on a mispredict — restores its checkpoint (squashing every younger
+// in-flight branch, whose infos and snapshots are released without
+// commit), re-establishes the resolved direction, and only then commits.
+// That is exactly the Commit-after-Restore ordering the core produces.
+// It returns the prediction bit-stream for determinism comparison.
+func conformanceDrive(t *testing.T, p Predictor, seed uint64, n int) []bool {
+	t.Helper()
+	rng := seed
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	outcome := func(pc uint64, r uint64) bool { return (pc>>2+r%7)%3 != 0 }
+
+	var record []bool
+	var inflight []inflightBranch
+
+	resolveOldest := func() {
+		b := inflight[0]
+		inflight = inflight[1:]
+		if b.pred != b.taken {
+			// Mispredict: rewind to the branch's checkpoint, squash all
+			// younger speculation, re-establish the resolved direction.
+			p.Restore(b.snap)
+			for _, y := range inflight {
+				p.Release(y.snap)
+				p.ReleaseInfo(y.info)
+			}
+			inflight = inflight[:0]
+			p.OnFetch(b.pc, b.taken)
+		}
+		// Commit happens after any restore, as at retirement.
+		p.Commit(b.pc, b.taken, b.pred, b.info)
+		p.ReleaseInfo(b.info)
+		p.Release(b.snap)
+	}
+
+	for i := 0; i < n; i++ {
+		pc := 0x400000 + (next()%61)*4
+		dir, info := p.Predict(pc)
+		record = append(record, dir)
+		snap := p.Checkpoint()
+		p.OnFetch(pc, dir)
+		inflight = append(inflight, inflightBranch{
+			pc: pc, pred: dir, taken: outcome(pc, next()), snap: snap, info: info,
+		})
+		// Keep up to 6 branches speculatively nested; drain one at random
+		// intervals so resolution interleaves with fetch.
+		for len(inflight) > 6 || (len(inflight) > 0 && next()%3 == 0) {
+			resolveOldest()
+		}
+	}
+	for len(inflight) > 0 {
+		resolveOldest()
+	}
+	return record
+}
+
+// TestPredictorConformance drives every registered predictor through the
+// core's speculation discipline and checks the interface-level contract:
+// positive storage accounting, no panics under nested checkpoint/restore
+// with Commit-after-Restore ordering, and bit-identical behaviour across
+// two identical runs (fresh instances, same stream).
+func TestPredictorConformance(t *testing.T) {
+	for _, tc := range conformancePredictors() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.mk()
+			if bits := p.StorageBits(); bits <= 0 {
+				t.Fatalf("StorageBits() = %d, want > 0", bits)
+			}
+			r1 := conformanceDrive(t, p, 0x2545f4914f6cdd1d, 8000)
+			r2 := conformanceDrive(t, tc.mk(), 0x2545f4914f6cdd1d, 8000)
+			if len(r1) != len(r2) {
+				t.Fatalf("prediction streams differ in length: %d vs %d", len(r1), len(r2))
+			}
+			for i := range r1 {
+				if r1[i] != r2[i] {
+					t.Fatalf("determinism violation: prediction %d differs across identical runs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictorRestoreRepredicts pins the restore semantics the core
+// depends on: a checkpoint taken after a prediction captures enough state
+// that, after arbitrary younger speculation, restoring it makes the
+// predictor return the same direction for the same PC (prediction is a
+// pure function of the restored architectural state).
+func TestPredictorRestoreRepredicts(t *testing.T) {
+	for _, tc := range conformancePredictors() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.mk()
+			// Warm the tables so predictions are not trivially default.
+			conformanceDrive(t, p, 0x9e3779b97f4a7c15, 3000)
+
+			const pc = 0x400040
+			d1, i1 := p.Predict(pc)
+			snap := p.Checkpoint()
+			p.OnFetch(pc, d1)
+			// Younger wrong-path speculation that will be squashed.
+			for j := 0; j < 8; j++ {
+				ypc := 0x400100 + uint64(j)*4
+				yd, yi := p.Predict(ypc)
+				ysnap := p.Checkpoint()
+				p.OnFetch(ypc, yd)
+				p.Release(ysnap)
+				p.ReleaseInfo(yi)
+			}
+			p.Restore(snap)
+			// The squashed fetch's info is released before the re-fetch
+			// re-predicts, as the core's flush does.
+			p.ReleaseInfo(i1)
+			d2, i2 := p.Predict(pc)
+			if d1 != d2 {
+				t.Fatalf("re-prediction after restore differs: %v then %v", d1, d2)
+			}
+			p.ReleaseInfo(i2)
+			p.Release(snap)
+		})
+	}
+}

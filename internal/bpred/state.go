@@ -1,6 +1,9 @@
 package bpred
 
-import "repro/internal/brstate"
+import (
+	"repro/internal/brstate"
+	"repro/internal/isa"
+)
 
 // This file implements brstate.Saver/Loader for every predictor. Only
 // mutable state is serialized: table geometry, history lengths and fold
@@ -17,6 +20,10 @@ const (
 	GshareStateVersion       = 1
 	CounterTableStateVersion = 1
 	TAGESCLStateVersion      = 1
+	PerceptronStateVersion   = 1
+	TournamentStateVersion   = 1
+	LDBPStateVersion         = 1
+	BullseyeStateVersion     = 1
 )
 
 // SaveState implements brstate.Saver.
@@ -71,6 +78,205 @@ func (c *CounterTable) LoadState(r *brstate.Reader) error {
 		for i := range c.table {
 			c.table[i] = r.I8()
 		}
+	}
+	return r.Err()
+}
+
+// SaveState implements brstate.Saver.
+func (p *Perceptron) SaveState(w *brstate.Writer) {
+	w.Len(len(p.weights))
+	for _, v := range p.weights {
+		w.I8(v)
+	}
+	w.U64(p.hist)
+}
+
+// LoadState implements brstate.Loader.
+func (p *Perceptron) LoadState(r *brstate.Reader) error {
+	if r.Len(len(p.weights)) {
+		for i := range p.weights {
+			p.weights[i] = r.I8()
+		}
+		p.hist = r.U64()
+	}
+	return r.Err()
+}
+
+// SaveState implements brstate.Saver.
+func (t *Tournament) SaveState(w *brstate.Writer) {
+	w.Len(len(t.localHist))
+	for _, v := range t.localHist {
+		w.U16(v)
+	}
+	w.Len(len(t.localPHT))
+	for _, v := range t.localPHT {
+		w.I8(v)
+	}
+	w.Len(len(t.globalPHT))
+	for _, v := range t.globalPHT {
+		w.U8(uint8(v))
+	}
+	w.Len(len(t.chooser))
+	for _, v := range t.chooser {
+		w.U8(uint8(v))
+	}
+	w.U64(t.hist)
+}
+
+// LoadState implements brstate.Loader.
+func (t *Tournament) LoadState(r *brstate.Reader) error {
+	if r.Len(len(t.localHist)) {
+		for i := range t.localHist {
+			t.localHist[i] = r.U16()
+		}
+	}
+	if r.Len(len(t.localPHT)) {
+		for i := range t.localPHT {
+			t.localPHT[i] = r.I8()
+		}
+	}
+	if r.Len(len(t.globalPHT)) {
+		for i := range t.globalPHT {
+			t.globalPHT[i] = ctr2(r.U8())
+		}
+	}
+	if r.Len(len(t.chooser)) {
+		for i := range t.chooser {
+			t.chooser[i] = ctr2(r.U8())
+		}
+		t.hist = r.U64()
+	}
+	return r.Err()
+}
+
+// SaveState implements brstate.Saver: LDBP serializes its provenance and
+// table state, then delegates to the wrapped base predictor. inflight is
+// deliberately excluded: snapshots are only taken at quiesced barriers
+// where every prediction has been released, so it is semantically zero
+// (mirroring the pool-exclusion rule above).
+func (l *LDBP) SaveState(w *brstate.Writer) {
+	w.Len(len(l.rtt))
+	for i := range l.rtt {
+		w.U64(l.rtt[i].loadPC)
+		w.Bool(l.rtt[i].valid)
+	}
+	w.U64(l.flagsRecipe.loadPC)
+	w.U8(uint8(l.flagsRecipe.op))
+	w.I64(l.flagsRecipe.imm)
+	w.Bool(l.flagsRecipe.valid)
+	w.Len(len(l.btt))
+	for i := range l.btt {
+		e := &l.btt[i]
+		w.U64(e.pc)
+		w.U64(e.loadPC)
+		w.U8(uint8(e.op))
+		w.I64(e.imm)
+		w.U8(uint8(e.cond))
+		w.I8(e.conf)
+		w.Bool(e.valid)
+	}
+	w.Len(len(l.lvt))
+	for i := range l.lvt {
+		e := &l.lvt[i]
+		w.U64(e.pc)
+		w.U64(e.lastVal)
+		w.U64(e.stride)
+		w.I8(e.conf)
+		w.Bool(e.valid)
+	}
+	l.base.SaveState(w)
+}
+
+// LoadState implements brstate.Loader.
+func (l *LDBP) LoadState(r *brstate.Reader) error {
+	if r.Len(len(l.rtt)) {
+		for i := range l.rtt {
+			l.rtt[i].loadPC = r.U64()
+			l.rtt[i].valid = r.Bool()
+		}
+	}
+	l.flagsRecipe.loadPC = r.U64()
+	l.flagsRecipe.op = isa.Op(r.U8())
+	l.flagsRecipe.imm = r.I64()
+	l.flagsRecipe.valid = r.Bool()
+	if r.Len(len(l.btt)) {
+		for i := range l.btt {
+			e := &l.btt[i]
+			e.pc = r.U64()
+			e.loadPC = r.U64()
+			e.op = isa.Op(r.U8())
+			e.imm = r.I64()
+			e.cond = isa.Cond(r.U8())
+			e.conf = r.I8()
+			e.valid = r.Bool()
+			e.inflight = 0
+		}
+	}
+	if r.Len(len(l.lvt)) {
+		for i := range l.lvt {
+			e := &l.lvt[i]
+			e.pc = r.U64()
+			e.lastVal = r.U64()
+			e.stride = r.U64()
+			e.conf = r.I8()
+			e.valid = r.Bool()
+		}
+	}
+	if err := l.base.LoadState(r); err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// SaveState implements brstate.Saver: Bullseye serializes the filter,
+// weights, local histories and its own history register, then delegates
+// to the wrapped base predictor.
+func (b *Bullseye) SaveState(w *brstate.Writer) {
+	w.Len(len(b.filter))
+	for _, v := range b.filter {
+		w.U8(v)
+	}
+	w.Len(len(b.gw))
+	for _, v := range b.gw {
+		w.I8(v)
+	}
+	w.Len(len(b.lw))
+	for _, v := range b.lw {
+		w.I8(v)
+	}
+	w.Len(len(b.localHist))
+	for _, v := range b.localHist {
+		w.U16(v)
+	}
+	w.U64(b.hist)
+	b.base.SaveState(w)
+}
+
+// LoadState implements brstate.Loader.
+func (b *Bullseye) LoadState(r *brstate.Reader) error {
+	if r.Len(len(b.filter)) {
+		for i := range b.filter {
+			b.filter[i] = r.U8()
+		}
+	}
+	if r.Len(len(b.gw)) {
+		for i := range b.gw {
+			b.gw[i] = r.I8()
+		}
+	}
+	if r.Len(len(b.lw)) {
+		for i := range b.lw {
+			b.lw[i] = r.I8()
+		}
+	}
+	if r.Len(len(b.localHist)) {
+		for i := range b.localHist {
+			b.localHist[i] = r.U16()
+		}
+		b.hist = r.U64()
+	}
+	if err := b.base.LoadState(r); err != nil {
+		return err
 	}
 	return r.Err()
 }

@@ -47,8 +47,23 @@ func stir(p Predictor, seed uint64, n int) {
 // normalize empties checkpoint scratch pools, which are semantically empty
 // at a quiesce barrier and deliberately excluded from snapshots.
 func normalize(p Predictor) {
-	if s, ok := p.(*TAGESCL); ok {
+	switch s := p.(type) {
+	case *TAGESCL:
 		s.t.snapPool = nil
+		s.infoPool = nil
+	case *Perceptron:
+		s.snapPool = nil
+		s.infoPool = nil
+	case *Tournament:
+		s.snapPool = nil
+		s.infoPool = nil
+	case *LDBP:
+		s.infoPool = nil
+		normalize(s.base)
+	case *Bullseye:
+		s.snapPool = nil
+		s.infoPool = nil
+		normalize(s.base)
 	}
 }
 
@@ -63,6 +78,18 @@ func TestPredictorRoundTrip(t *testing.T) {
 		{"tage64", TAGESCLStateVersion, func() statefulPredictor { return NewTAGESCL64() }},
 		{"tage80", TAGESCLStateVersion, func() statefulPredictor { return NewTAGESCL80() }},
 		{"mtage", TAGESCLStateVersion, func() statefulPredictor { return NewMTAGE() }},
+		{"perceptron", PerceptronStateVersion, func() statefulPredictor {
+			return NewPerceptron(DefaultPerceptronConfig())
+		}},
+		{"tournament", TournamentStateVersion, func() statefulPredictor {
+			return NewTournament(DefaultTournamentConfig())
+		}},
+		{"ldbp", LDBPStateVersion, func() statefulPredictor {
+			return NewLDBP(DefaultLDBPConfig(), NewTAGESCL64(), ldbpTestProgram())
+		}},
+		{"bullseye", BullseyeStateVersion, func() statefulPredictor {
+			return NewBullseye(DefaultBullseyeConfig(), NewTAGESCL64())
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -153,6 +153,12 @@ func New(cfg Config, next MemLevel) *Cache {
 	if cfg.Ports > 0 {
 		c.ports = make([]uint64, cfg.Ports)
 	}
+	if cfg.MSHRs > 0 {
+		// Occupancy can transiently exceed MSHRs (admission delays the
+		// issue cycle but still records the miss), so leave headroom; the
+		// mshrAdmit cold path grows past it only at a new high-water mark.
+		c.outstanding = make([]uint64, 0, 2*cfg.MSHRs)
+	}
 	return c
 }
 
@@ -207,14 +213,16 @@ func (c *Cache) mshrAdmit(now, done uint64) uint64 {
 	if c.cfg.MSHRs <= 0 {
 		return now
 	}
-	// Drop retired entries.
-	live := c.outstanding[:0]
+	// Drop retired entries (in place: writes stay within the existing
+	// backing array, so no reallocation is possible).
+	n := 0
 	for _, d := range c.outstanding {
 		if d > now {
-			live = append(live, d)
+			c.outstanding[n] = d
+			n++
 		}
 	}
-	c.outstanding = live
+	c.outstanding = c.outstanding[:n]
 	start := now
 	if len(c.outstanding) >= c.cfg.MSHRs {
 		// Wait for the earliest outstanding miss to retire.
@@ -229,7 +237,14 @@ func (c *Cache) mshrAdmit(now, done uint64) uint64 {
 		}
 		c.Ctr.MSHRFull.Inc()
 	}
-	c.outstanding = append(c.outstanding, done)
+	k := len(c.outstanding)
+	if k == cap(c.outstanding) {
+		// Cold path: grow to a new high-water mark; steady state reuses the
+		// backing array forever after.
+		c.outstanding = append(c.outstanding, 0)[:k] //brlint:allow hot-path-alloc
+	}
+	c.outstanding = c.outstanding[:k+1]
+	c.outstanding[k] = done
 	return start
 }
 

@@ -31,8 +31,11 @@ type Core struct {
 	mem  *emu.Memory
 	fe   *frontend
 	bp   bpred.Predictor
-	hier Hierarchy
-	ext  Extension //brlint:allow snapshot-coverage
+	// bpObs is bp's optional retire observer, resolved once at
+	// construction so the retire loop avoids a per-uop type assertion.
+	bpObs bpred.RetireObserver //brlint:allow snapshot-coverage
+	hier  Hierarchy
+	ext   Extension //brlint:allow snapshot-coverage
 
 	now uint64
 	seq uint64
@@ -184,6 +187,9 @@ func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext
 		Branches: make(map[uint64]*BranchStat),
 	}
 	c.Ctr = newCoreCounters(c.C)
+	if obs, ok := bp.(bpred.RetireObserver); ok {
+		c.bpObs = obs
+	}
 	c.curFetchLine = ^uint64(0)
 	c.dec = buildDecode(&cfg, p)
 	c.robBuf = make([]*DynUop, 2*cfg.ROBSize)
@@ -326,6 +332,9 @@ func (c *Core) retire() {
 		d.State = StRetired
 		c.trace("retire", d)
 		c.Ctr.Retired.Inc()
+		if c.bpObs != nil {
+			c.bpObs.ObserveRetire(d.U.PC, d.Res.Value)
+		}
 		if d.U.Op.IsMem() {
 			c.lsqCount--
 		}
@@ -433,6 +442,12 @@ func (c *Core) releaseSnaps(d *DynUop) {
 			c.ext.ReleaseCheckpoint(d.extSnap)
 		}
 		d.extSnap = nil
+	}
+	if d.ExtData != nil {
+		if c.ext != nil {
+			c.ext.ReleaseUopData(d.ExtData)
+		}
+		d.ExtData = nil
 	}
 }
 

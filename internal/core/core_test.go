@@ -176,6 +176,7 @@ func (oracleExt) ReleaseCheckpoint(interface{})                {}
 func (oracleExt) BranchResolved(uint64, *DynUop, *emu.RegFile) {}
 func (oracleExt) Flush(uint64, *DynUop, []*DynUop)             {}
 func (oracleExt) Retired(uint64, *DynUop)                      {}
+func (oracleExt) ReleaseUopData(interface{})                   {}
 func (oracleExt) Tick(uint64, TickInfo)                        {}
 func (oracleExt) Idle() bool                                   { return true }
 

@@ -216,6 +216,11 @@ type Extension interface {
 	Flush(now uint64, cause *DynUop, squashed []*DynUop)
 	// Retired is called for every retired micro-op in program order.
 	Retired(now uint64, d *DynUop)
+	// ReleaseUopData hands back the ExtData attached to a micro-op once
+	// the core is done with it (retire or squash), so the extension can
+	// recycle the allocation. Each value is released at most once, after
+	// the Retired/Flush hook that observes it.
+	ReleaseUopData(data interface{})
 	// Tick advances the extension one cycle (the DCE executes here).
 	// info reports the core resources left over this cycle, which the
 	// Core-Only DCE variant borrows.

@@ -130,6 +130,13 @@ func New(cfg Config) *DRAM {
 		for b := range d.chs[i].banks {
 			d.chs[i].banks[b].openRow = -1
 		}
+		if cfg.QueueSize > 0 {
+			// Occupancy can transiently exceed QueueSize (admission delays
+			// the start cycle but still records the request), so leave
+			// headroom; the Access cold path grows past it only at a new
+			// high-water mark.
+			d.chs[i].queue = make([]uint64, 0, 2*cfg.QueueSize)
+		}
 	}
 	return d
 }
@@ -148,13 +155,16 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 	// waits for the earliest in-flight request to drain.
 	start := now + d.cfg.CtrlLatency
 	if d.cfg.QueueSize > 0 {
-		live := ch.queue[:0]
+		// Drop drained requests in place: writes stay within the existing
+		// backing array, so no reallocation is possible.
+		n := 0
 		for _, c := range ch.queue {
 			if c > now {
-				live = append(live, c)
+				ch.queue[n] = c
+				n++
 			}
 		}
-		ch.queue = live
+		ch.queue = ch.queue[:n]
 		if len(ch.queue) >= d.cfg.QueueSize {
 			earliest := ch.queue[0]
 			for _, c := range ch.queue[1:] {
@@ -219,7 +229,14 @@ func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
 
 	b.freeAt = done
 	if d.cfg.QueueSize > 0 {
-		ch.queue = append(ch.queue, done)
+		k := len(ch.queue)
+		if k == cap(ch.queue) {
+			// Cold path: grow to a new high-water mark; steady state reuses
+			// the backing array forever after.
+			ch.queue = append(ch.queue, 0)[:k] //brlint:allow hot-path-alloc
+		}
+		ch.queue = ch.queue[:k+1]
+		ch.queue[k] = done
 	}
 	if d.tr.Enabled() {
 		d.tr.Emit(trace.Event{

@@ -669,6 +669,74 @@ func (s *Suite) Figure14() (*stats.Table, error) {
 	return t, nil
 }
 
+// figure15Predictors is the competing-predictor frontier: the Table 1
+// TAGE-SC-L baseline, the classical baselines (gshare, perceptron,
+// tournament), and the two competing H2P attacks (LDBP's load-stride
+// execution, Bullseye's targeted dual perceptron).
+func figure15Predictors() []struct {
+	key  string
+	pred sim.PredictorKind
+} {
+	return []struct {
+		key  string
+		pred sim.PredictorKind
+	}{
+		{"tage64", sim.PredTage64},
+		{"gshare", sim.PredGshare},
+		{"perceptron", sim.PredPerceptron},
+		{"tournament", sim.PredTournament},
+		{"ldbp", sim.PredLDBP},
+		{"bullseye", sim.PredBullseye},
+	}
+}
+
+// Figure15 is the competing-predictor head-to-head: every frontier
+// predictor standalone and with Branch Runahead (Mini) layered on top,
+// absolute MPKI and IPC per benchmark. One row per benchmark/predictor
+// pair; the mean rows aggregate per predictor (arithmetic mean MPKI,
+// geometric mean IPC). The question the figure answers: does any
+// competing predictor reach runahead's coverage of impossible-to-predict
+// branches, and does runahead still help when layered over each.
+func (s *Suite) Figure15() (*stats.Table, error) {
+	t := stats.NewTable("Figure 15: competing predictors vs Branch Runahead (Mini)",
+		"benchmark/predictor", "mpki", "ipc", "mpki+br", "ipc+br")
+	preds := figure15Predictors()
+	vs := make([]variant, 0, 2*len(preds))
+	for _, p := range preds {
+		vs = append(vs, variant{key: p.key, pred: p.pred})
+		br := runahead.Mini()
+		vs = append(vs, variant{key: p.key + "+br", pred: p.pred, br: &br})
+	}
+	if err := s.prefetch(cross(s.names(), vs, s.opts.Instrs)); err != nil {
+		return nil, err
+	}
+	type agg struct{ mpki, ipc, mpkiBR, ipcBR []float64 }
+	aggs := make([]agg, len(preds))
+	for _, wl := range s.names() {
+		for i, p := range preds {
+			solo, err := s.run(wl, vs[2*i], s.opts.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			with, err := s.run(wl, vs[2*i+1], s.opts.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(wl+"/"+p.key, solo.MPKI, solo.IPC, with.MPKI, with.IPC)
+			aggs[i].mpki = append(aggs[i].mpki, solo.MPKI)
+			aggs[i].ipc = append(aggs[i].ipc, solo.IPC)
+			aggs[i].mpkiBR = append(aggs[i].mpkiBR, with.MPKI)
+			aggs[i].ipcBR = append(aggs[i].ipcBR, with.IPC)
+		}
+	}
+	for i, p := range preds {
+		t.AddRowf("mean/"+p.key,
+			stats.Mean(aggs[i].mpki), stats.GeoMean(aggs[i].ipc),
+			stats.Mean(aggs[i].mpkiBR), stats.GeoMean(aggs[i].ipcBR))
+	}
+	return t, nil
+}
+
 // Table1 renders the baseline configuration (the paper's Table 1).
 func Table1() *stats.Table {
 	c := core.DefaultConfig()

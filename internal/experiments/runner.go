@@ -84,13 +84,22 @@ func (r *runner) do(key string, compute func() (*sim.Result, error)) (*sim.Resul
 // once per key across all concurrent callers. Unlike do, it acquires no
 // worker slot: warmups happen inside a run's compute, whose caller already
 // holds a slot, so computing on that slot keeps the pool deadlock-free even
-// at one job. Duplicate requesters idle on done holding their slots — the
-// warmup they need is already on a core.
+// at one job. A duplicate requester hands its worker slot back while it
+// idles on done and re-acquires one afterwards — otherwise N queued runs
+// of one workload pin N slots while a single warmup computes, starving
+// runs of other workloads that could use the cores.
 func (r *runner) warmup(key string, compute func() ([]byte, error)) ([]byte, error) {
 	r.mu.Lock()
 	if e, ok := r.warmups[key]; ok {
 		r.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+			// Already complete: keep the slot, no yield needed.
+		default:
+			<-r.sem // release the caller's slot while idle
+			<-e.done
+			r.sem <- struct{}{} // re-acquire before resuming the run
+		}
 		return e.blob, e.err
 	}
 	e := &warmEntry{done: make(chan struct{})}

@@ -26,12 +26,29 @@ type LayoutPredictor struct {
 	dist      int
 
 	C *stats.Counters
+	// ctr holds dense handles into C for the retire-path events; the
+	// values live in C, which the codec serializes.
+	//brlint:allow snapshot-coverage
+	ctr layoutCounters
+}
+
+// layoutCounters are pre-registered handles for the retire-path events.
+type layoutCounters struct {
+	sessions     stats.Counter
+	mergesFound  stats.Counter
+	mergesMissed stats.Counter
 }
 
 // NewLayoutPredictor returns a layout-heuristic predictor with the given
 // maximum merge distance.
 func NewLayoutPredictor(maxDist int) *LayoutPredictor {
-	return &LayoutPredictor{maxDist: maxDist, C: stats.NewCounters()}
+	p := &LayoutPredictor{maxDist: maxDist, C: stats.NewCounters()}
+	p.ctr = layoutCounters{
+		sessions:     p.C.Handle("sessions"),
+		mergesFound:  p.C.Handle("merges_found"),
+		mergesMissed: p.C.Handle("merges_missed"),
+	}
+	return p
 }
 
 // OnFlush begins a session for a correct-path misprediction.
@@ -50,7 +67,7 @@ func (p *LayoutPredictor) OnFlush(cause *core.DynUop, _ []*core.DynUop) {
 		// Backward branch (loop): assume reconvergence at the exit.
 		p.predicted = cause.Res.FallThrou
 	}
-	p.C.Inc("sessions")
+	p.ctr.sessions.Inc()
 }
 
 // OnRetire observes one correct-path retired micro-op.
@@ -66,19 +83,19 @@ func (p *LayoutPredictor) OnRetire(d *core.DynUop) {
 		return
 	}
 	if pc == p.predicted {
-		p.C.Inc("merges_found")
+		p.ctr.mergesFound.Inc()
 		p.active = false
 		return
 	}
 	if pc == p.branchPC {
 		// Second instance without reaching the predicted merge: miss.
-		p.C.Inc("merges_missed")
+		p.ctr.mergesMissed.Inc()
 		p.active = false
 		return
 	}
 	p.dist++
 	if p.dist > p.maxDist {
-		p.C.Inc("merges_missed")
+		p.ctr.mergesMissed.Inc()
 		p.active = false
 	}
 }

@@ -140,6 +140,19 @@ type Predictor struct {
 	poisonDist int
 
 	C *stats.Counters
+	// ctr holds dense handles into C for the session-path events; the
+	// values live in C, which the codec serializes.
+	//brlint:allow snapshot-coverage
+	ctr mpCounters
+}
+
+// mpCounters are pre-registered handles for the retire-path events.
+type mpCounters struct {
+	sessions      stats.Counter
+	mergesFound   stats.Counter
+	mergesMissed  stats.Counter
+	selfAffectors stats.Counter
+	affectees     stats.Counter
 }
 
 // Validate checks the predictor geometry and search limits.
@@ -164,10 +177,22 @@ func New(cfg Config, sink Sink) *Predictor {
 	}
 	nSets := cfg.WPBEntries / cfg.WPBWays
 	p := &Predictor{cfg: cfg, sink: sink, nSets: nSets, C: stats.NewCounters()}
+	p.ctr = mpCounters{
+		sessions:      p.C.Handle("sessions"),
+		mergesFound:   p.C.Handle("merges_found"),
+		mergesMissed:  p.C.Handle("merges_missed"),
+		selfAffectors: p.C.Handle("self_affectors"),
+		affectees:     p.C.Handle("affectees"),
+	}
 	p.sets = make([][]wpbEntry, nSets)
 	for i := range p.sets {
 		p.sets[i] = make([]wpbEntry, cfg.WPBWays)
 	}
+	// Session branch lists are bounded by the walk and search limits;
+	// allocating to those bounds up front keeps OnFlush/OnRetire free of
+	// allocation in steady state.
+	p.wrongBr = make([]uint64, 0, cfg.MaxWalk)
+	p.correctBr = make([]uint64, 0, cfg.MaxMergeDist)
 	return p
 }
 
@@ -222,7 +247,7 @@ func (p *Predictor) OnFlush(cause *core.DynUop, squashed []*core.DynUop) {
 	p.dist = 0
 	p.wrongBr = p.wrongBr[:0]
 	p.correctBr = p.correctBr[:0]
-	p.C.Inc("sessions")
+	p.ctr.sessions.Inc()
 
 	var running DestSet
 	var dstBuf [2]isa.Reg
@@ -248,7 +273,12 @@ func (p *Predictor) OnFlush(cause *core.DynUop, squashed []*core.DynUop) {
 			running.AddMem(d.Res.MemAddr)
 		}
 		if d.U.Op.IsCondBranch() {
-			p.wrongBr = append(p.wrongBr, d.U.PC)
+			// At most MaxWalk branches are walked, matching the capacity
+			// reserved in New, so this never extends past it.
+			if n := len(p.wrongBr); n < cap(p.wrongBr) {
+				p.wrongBr = p.wrongBr[:n+1]
+				p.wrongBr[n] = d.U.PC
+			}
 		}
 	}
 	p.wrongPathEnd = running
@@ -290,7 +320,7 @@ func (p *Predictor) searchStep(d *core.DynUop) {
 	}
 	if dest, hit := p.lookup(pc); hit {
 		// Merge point found.
-		p.C.Inc("merges_found")
+		p.ctr.mergesFound.Inc()
 		both := dest
 		both.Or(p.correctDest)
 		for _, b := range p.wrongBr {
@@ -316,7 +346,12 @@ func (p *Predictor) searchStep(d *core.DynUop) {
 		p.correctDest.AddMem(d.Res.MemAddr)
 	}
 	if d.U.Op.IsCondBranch() {
-		p.correctBr = append(p.correctBr, pc)
+		// At most MaxMergeDist retires are searched, matching the capacity
+		// reserved in New, so this never extends past it.
+		if n := len(p.correctBr); n < cap(p.correctBr) {
+			p.correctBr = p.correctBr[:n+1]
+			p.correctBr[n] = pc
+		}
 	}
 }
 
@@ -330,7 +365,7 @@ func (p *Predictor) poisonStep(d *core.DynUop) {
 		var srcBuf [4]isa.Reg
 		for _, r := range srcBuf[:d.U.SrcRegN(&srcBuf)] {
 			if p.poison.HasReg(r) {
-				p.C.Inc("self_affectors")
+				p.ctr.selfAffectors.Inc()
 				p.sink.Affector(p.branchPC, p.branchPC)
 				break
 			}
@@ -357,7 +392,7 @@ func (p *Predictor) poisonStep(d *core.DynUop) {
 	}
 	if d.U.Op.IsCondBranch() {
 		if poisoned {
-			p.C.Inc("affectees")
+			p.ctr.affectees.Inc()
 			p.sink.Affector(p.branchPC, d.U.PC)
 		}
 		return
@@ -383,7 +418,7 @@ func (p *Predictor) poisonStep(d *core.DynUop) {
 }
 
 func (p *Predictor) fail() {
-	p.C.Inc("merges_missed")
+	p.ctr.mergesMissed.Inc()
 	p.ph = phIdle
 	p.clearWPB()
 }

@@ -45,6 +45,12 @@ type HBT struct {
 	rng     uint64
 
 	retiredBranches uint64
+
+	// agScratch backs AGSet's return slice. The AG list is one machine
+	// word, so 64 entries always suffice; callers consume the slice
+	// before the next AGSet call. Scratch, not architectural state.
+	//brlint:allow snapshot-coverage
+	agScratch [64]uint64
 }
 
 // NewHBT returns a table with n entries. The per-entry AG list is one
@@ -278,16 +284,20 @@ func (h *HBT) AGSet(hardPC uint64) []uint64 {
 	if e == nil || e.agl == 0 {
 		return nil
 	}
-	var out []uint64
+	n := 0
 	for i := 0; i < len(h.entries) && i < 64; i++ {
 		if e.agl&(1<<uint(i)) != 0 && h.entries[i].valid {
 			if !h.IsBiased(h.entries[i].pc) {
-				out = append(out, h.entries[i].pc)
+				h.agScratch[n] = h.entries[i].pc
+				n++
 			}
 		}
 	}
 	e.agc = false
-	return out
+	if n == 0 {
+		return nil
+	}
+	return h.agScratch[:n]
 }
 
 // Hard returns all PCs currently considered hard-to-predict.

@@ -78,6 +78,15 @@ func NewPQSet(cfg *Config) *PQSet {
 	for i := range s.queues {
 		s.queues[i] = &Queue{slots: make([]pqSlot, cfg.QueueEntries)}
 	}
+	// Prefill the checkpoint pool to a typical in-flight branch count so
+	// the Checkpoint cold path rarely runs at all.
+	s.cpPool = make([]*pqCheckpoint, 0, 64)
+	for i := 0; i < 32; i++ {
+		s.cpPool = append(s.cpPool, &pqCheckpoint{
+			fetch: make([]uint64, len(s.queues)),
+			gen:   make([]uint64, len(s.queues)),
+		})
+	}
 	return s
 }
 
@@ -145,9 +154,11 @@ func (s *PQSet) Checkpoint() *pqCheckpoint {
 		s.cpPool[last] = nil
 		s.cpPool = s.cpPool[:last]
 	} else {
-		cp = &pqCheckpoint{
-			fetch: make([]uint64, len(s.queues)),
-			gen:   make([]uint64, len(s.queues)),
+		// Cold-path pool fill: runs once per pooled checkpoint beyond the
+		// prefill, then the object is recycled forever.
+		cp = &pqCheckpoint{ //brlint:allow hot-path-alloc
+			fetch: make([]uint64, len(s.queues)), //brlint:allow hot-path-alloc
+			gen:   make([]uint64, len(s.queues)), //brlint:allow hot-path-alloc
 		}
 	}
 	for i, q := range s.queues {
@@ -163,7 +174,9 @@ func (s *PQSet) Release(cp *pqCheckpoint) {
 	if cp == nil {
 		return
 	}
-	s.cpPool = append(s.cpPool, cp)
+	// Pool growth is bounded by the in-flight branch count and amortizes
+	// to zero.
+	s.cpPool = append(s.cpPool, cp) //brlint:allow hot-path-alloc
 }
 
 // Restore rewinds fetch pointers to a checkpoint, reinserting previously

@@ -46,6 +46,12 @@ type System struct {
 	// tr is the structured event tracer (nil when tracing is off);
 	// wiring is re-attached by the machine builder, not the codec.
 	tr *trace.Tracer //brlint:allow snapshot-coverage
+
+	// refPool recycles slot references released by the core via
+	// ReleaseUopData; refSlab amortizes the initial allocations. Free
+	// lists are never part of the architectural state.
+	refPool []*slotRef //brlint:allow snapshot-coverage
+	refSlab []slotRef  //brlint:allow snapshot-coverage
 }
 
 // sysCounters are pre-registered handles for the prediction-accounting and
@@ -146,7 +152,9 @@ func (s *System) FetchCondBranch(now uint64, d *core.DynUop, basePred bool) (boo
 		// passed, so runahead must exit for this branch until the next
 		// synchronization realigns it ("the size of each prediction queue
 		// also limits how far ahead (or behind) the DCE can be", §4.2).
-		d.ExtData = &slotRef{q: q, gen: q.gen, cat: catInactive}
+		ref := s.newSlotRef()
+		ref.q, ref.gen, ref.cat = q, q.gen, catInactive
+		d.ExtData = ref
 		if q.active {
 			s.dce.DeactivateFamily(now, d.U.PC)
 		}
@@ -161,7 +169,8 @@ func (s *System) FetchCondBranch(now uint64, d *core.DynUop, basePred bool) (boo
 	idx := q.fetch
 	q.fetch++
 	slot := q.slot(idx)
-	ref := &slotRef{q: q, idx: idx, gen: q.gen}
+	ref := s.newSlotRef()
+	ref.q, ref.idx, ref.gen = q, idx, q.gen
 	d.ExtData = ref
 	pred, fromDCE := basePred, false
 	switch {
@@ -202,6 +211,37 @@ func (s *System) Restore(now uint64, snap interface{}) {
 func (s *System) ReleaseCheckpoint(snap interface{}) {
 	if cp, ok := snap.(*pqCheckpoint); ok {
 		s.pqs.Release(cp)
+	}
+}
+
+// newSlotRef pops a zeroed slot reference from the free pool, refilling
+// from an amortized slab when the pool is empty.
+func (s *System) newSlotRef() *slotRef {
+	if last := len(s.refPool) - 1; last >= 0 {
+		ref := s.refPool[last]
+		s.refPool[last] = nil
+		s.refPool = s.refPool[:last]
+		*ref = slotRef{}
+		return ref
+	}
+	if len(s.refSlab) == 0 {
+		// Amortized slab refill: one allocation per 64 new references;
+		// steady state recycles through the pool instead.
+		s.refSlab = make([]slotRef, 64) //brlint:allow hot-path-alloc
+	}
+	ref := &s.refSlab[0]
+	s.refSlab = s.refSlab[1:]
+	return ref
+}
+
+// ReleaseUopData implements core.Extension: the slot reference attached
+// to a conditional branch is recycled once the branch retires or is
+// squashed.
+func (s *System) ReleaseUopData(data interface{}) {
+	if ref, ok := data.(*slotRef); ok {
+		// Pool growth is bounded by the in-flight branch count and
+		// amortizes to zero.
+		s.refPool = append(s.refPool, ref) //brlint:allow hot-path-alloc
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/energy"
+	"repro/internal/program"
 	"repro/internal/runahead"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -28,9 +29,15 @@ const (
 	PredMTage                       // MTAGE-SC, unlimited (Figure 11)
 	PredBimodal
 	PredGshare
+	PredPerceptron // classical global-history perceptron (Jiménez & Lin)
+	PredTournament // Alpha 21264-style local/global tournament
+	PredLDBP       // Load Driven Branch Prediction over the TAGE-SC-L 64KB base
+	PredBullseye   // H2P-targeted dual perceptron over the TAGE-SC-L 64KB base
 )
 
-func newPredictor(k PredictorKind) bpred.Predictor {
+// newPredictor builds the configured predictor. LDBP inspects the retired
+// instruction stream, so it needs the workload program.
+func newPredictor(k PredictorKind, prog *program.Program) bpred.Predictor {
 	switch k {
 	case PredTage64:
 		return bpred.NewTAGESCL64()
@@ -42,10 +49,24 @@ func newPredictor(k PredictorKind) bpred.Predictor {
 		return bpred.NewBimodal(14)
 	case PredGshare:
 		return bpred.NewGshare(16, 14)
+	case PredPerceptron:
+		return bpred.NewPerceptron(bpred.DefaultPerceptronConfig())
+	case PredTournament:
+		return bpred.NewTournament(bpred.DefaultTournamentConfig())
+	case PredLDBP:
+		return bpred.NewLDBP(bpred.DefaultLDBPConfig(), bpred.NewTAGESCL64(), prog)
+	case PredBullseye:
+		return bpred.NewBullseye(bpred.DefaultBullseyeConfig(), bpred.NewTAGESCL64())
 	default:
 		panic(fmt.Sprintf("sim: unknown predictor kind %d", int(k)))
 	}
 }
+
+// testWrapPredictor, when non-nil, wraps the predictor newMachine builds.
+// It is a test-only seam (the release-audit predictor uses it to intercept
+// every Checkpoint/Release and Predict/ReleaseInfo pair); production code
+// never sets it.
+var testWrapPredictor func(bpred.Predictor) bpred.Predictor
 
 // Config describes one simulation.
 //
@@ -117,7 +138,8 @@ func (c Config) Validate() error {
 		}
 	}
 	switch c.Predictor {
-	case PredTage64, PredTage80, PredMTage, PredBimodal, PredGshare:
+	case PredTage64, PredTage80, PredMTage, PredBimodal, PredGshare,
+		PredPerceptron, PredTournament, PredLDBP, PredBullseye:
 	default:
 		return fmt.Errorf("sim: unknown predictor kind %d", int(c.Predictor))
 	}
@@ -217,7 +239,10 @@ func newMachine(w *workloads.Workload, cfg Config) (*machine, error) {
 		return nil, fmt.Errorf("sim %s: %w", w.Name, err)
 	}
 	hier := NewHierarchy()
-	bp := newPredictor(cfg.Predictor)
+	bp := newPredictor(cfg.Predictor, w.Prog)
+	if testWrapPredictor != nil {
+		bp = testWrapPredictor(bp)
+	}
 	c := core.New(cfg.Core, w.Prog, bp, hier, nil)
 	m := &machine{w: w, cfg: cfg, hier: hier, bp: bp, c: c}
 	if !cfg.WarmupBarrier {
@@ -444,6 +469,14 @@ func configName(cfg Config) string {
 		name = "bimodal"
 	case PredGshare:
 		name = "gshare"
+	case PredPerceptron:
+		name = "perceptron"
+	case PredTournament:
+		name = "tournament"
+	case PredLDBP:
+		name = "ldbp"
+	case PredBullseye:
+		name = "bullseye"
 	}
 	if cfg.BR != nil {
 		name += "+br-" + cfg.BR.Name

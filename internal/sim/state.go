@@ -27,6 +27,14 @@ func predictorStateVersion(k PredictorKind) uint32 {
 		return bpred.BimodalStateVersion
 	case PredGshare:
 		return bpred.GshareStateVersion
+	case PredPerceptron:
+		return bpred.PerceptronStateVersion
+	case PredTournament:
+		return bpred.TournamentStateVersion
+	case PredLDBP:
+		return bpred.LDBPStateVersion
+	case PredBullseye:
+		return bpred.BullseyeStateVersion
 	default:
 		return bpred.TAGESCLStateVersion
 	}

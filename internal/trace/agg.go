@@ -45,6 +45,9 @@ type BranchAgg struct {
 	total     BranchTotals
 	perBranch map[uint64]*BranchTotals
 	measuring bool
+	// slab amortizes per-branch allocation: one backing array per 64 new
+	// static branches instead of one allocation per branch.
+	slab []BranchTotals
 }
 
 // NewBranchAgg returns an empty aggregation sink.
@@ -67,7 +70,13 @@ func (a *BranchAgg) Emit(ev Event) {
 		a.total.add(ev.Val, ev.Flag)
 		b := a.perBranch[ev.PC]
 		if b == nil {
-			b = &BranchTotals{}
+			if len(a.slab) == 0 {
+				// Amortized slab refill: one allocation per 64 new static
+				// branches instead of one per branch.
+				a.slab = make([]BranchTotals, 64) //brlint:allow hot-path-alloc
+			}
+			b = &a.slab[0]
+			a.slab = a.slab[1:]
 			a.perBranch[ev.PC] = b
 		}
 		b.add(ev.Val, ev.Flag)

@@ -37,6 +37,7 @@ type chromeEvent struct {
 // io.Closer it is closed by Close.
 func NewChrome(w io.Writer) *Chrome {
 	c := &Chrome{w: bufio.NewWriterSize(w, 1<<16)}
+	c.scr.Args = make(map[string]any, 8)
 	if cl, ok := w.(io.Closer); ok {
 		c.c = cl
 	}
@@ -83,11 +84,7 @@ func (c *Chrome) Emit(ev Event) {
 	e.PID = 1
 	e.TID = unitOf(ev)
 	e.Scope = "t"
-	if e.Args == nil {
-		e.Args = make(map[string]any, 8)
-	} else {
-		clear(e.Args)
-	}
+	clear(e.Args)
 	if ev.PC != 0 || ev.Kind == KindBranchFetch {
 		e.Args["pc"] = fmt.Sprintf("0x%x", ev.PC)
 	}
@@ -148,17 +145,20 @@ func rowName(r uint64) string {
 }
 
 // writeMeta emits thread-name metadata records so tracks show unit names
-// instead of bare tids.
+// instead of bare tids. It reuses the Emit scratch record (it runs before
+// the first real record is built, and Emit clears Args itself).
 func (c *Chrome) writeMeta() {
+	e := &c.scr
 	for u := UnitCore; u <= UnitSim; u++ {
-		rec := &chromeEvent{
-			Name:  "thread_name",
-			Phase: "M",
-			PID:   1,
-			TID:   u,
-			Args:  map[string]any{"name": UnitName(u)},
-		}
-		c.writeRecord(rec)
+		e.Name = "thread_name"
+		e.Phase = "M"
+		e.TS = 0
+		e.PID = 1
+		e.TID = u
+		e.Scope = ""
+		clear(e.Args)
+		e.Args["name"] = UnitName(u)
+		c.writeRecord(e)
 	}
 }
 

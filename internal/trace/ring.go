@@ -21,8 +21,11 @@ func NewRing(n int) *Ring {
 
 // Emit records the event, evicting the oldest when full.
 func (r *Ring) Emit(ev Event) {
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, ev)
+	if n := len(r.buf); n < cap(r.buf) {
+		// The backing array is fully allocated at construction; extending
+		// the length within capacity cannot reallocate.
+		r.buf = r.buf[:n+1]
+		r.buf[n] = ev
 	} else {
 		r.buf[r.next] = ev
 	}
