@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint lint-human build test race bench-json
+.PHONY: check fmt vet lint lint-human build test race bench-json fuzz-smoke
 
 ## check: the full pre-PR gate. Everything below must pass before merging.
 check: fmt vet lint-human build test race
@@ -37,17 +37,28 @@ build:
 test: build
 	$(GO) test ./...
 
-## race: the packages with cross-structure pointer protocols and the
-## parallel experiment runner get an extra race-detector pass.
+## race: the packages with cross-structure pointer protocols, the
+## parallel experiment runner and the job-queue server get an extra
+## race-detector pass.
 race:
-	$(GO) test -race ./internal/sim ./internal/runahead ./internal/experiments/...
+	$(GO) test -race ./internal/sim ./internal/runahead ./internal/experiments/... ./internal/server
 
 ## bench-json: record the simulator-throughput, parallel-suite,
-## warm-cache, shared-warmup-sweep and Figure 15 predictor-head-to-head
-## benchmarks as committed JSON for cross-PR comparison. Override
-## BENCH_OUT to compare against a prior snapshot.
-BENCH_OUT ?= BENCH_5.json
+## warm-cache, shared-warmup-sweep, Figure 15 predictor-head-to-head and
+## warm-HTTP-request benchmarks as committed JSON for cross-PR
+## comparison. Override BENCH_OUT to compare against a prior snapshot.
+BENCH_OUT ?= BENCH_6.json
 bench-json:
-	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup|BenchmarkSweepWarmupShared|BenchmarkSuiteWarmCacheSpeedup|BenchmarkFigure15$$' -run '^$$' -benchtime 3x . \
+	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup|BenchmarkSweepWarmupShared|BenchmarkSuiteWarmCacheSpeedup|BenchmarkServeWarmRequest|BenchmarkFigure15$$' -run '^$$' -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 	@cat $(BENCH_OUT)
+
+## fuzz-smoke: a bounded pass over each native fuzz target — the brstate
+## codec reader, the persistent-cache result decoder and the warmup
+## snapshot restore. CI runs this on every push; for a real fuzzing
+## session raise FUZZTIME or run the targets individually.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/brstate
+	$(GO) test -run '^$$' -fuzz 'FuzzLoadResult$$' -fuzztime $(FUZZTIME) ./internal/experiments
+	$(GO) test -run '^$$' -fuzz 'FuzzWarmupBlob$$' -fuzztime $(FUZZTIME) ./internal/sim

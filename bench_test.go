@@ -10,12 +10,17 @@ package branchrunahead
 // prints the reproduced series alongside timing.
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/server"
 	"repro/internal/workloads"
 )
 
@@ -429,6 +434,77 @@ func BenchmarkSuiteWarmCacheSpeedup(b *testing.B) {
 		}
 		if n := w.RunsExecuted(); n != 0 {
 			b.Fatalf("warm pass executed %d simulations, want 0", n)
+		}
+	}
+	warm := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(cold.Seconds()/warm.Seconds(), "warm_speedup")
+}
+
+// BenchmarkServeWarmRequest measures the brserve fast path: a run request
+// over HTTP against a warm cache directory. Each timed iteration stands up
+// a fresh server over the same -cache-dir (so the in-memory job registry
+// cannot answer — the persistent cache must), submits the request, polls
+// to completion and downloads the result. The cold pass outside the timer
+// populates the cache; warm iterations must execute zero simulations.
+func BenchmarkServeWarmRequest(b *testing.B) {
+	cfg := server.Config{CacheDir: b.TempDir(), Quick: true, MaxJobs: 1}
+	const reqBody = `{"version":1,"kind":"run","workload":"mcf_17","br":"mini"}`
+
+	serve := func() (runsExecuted int) {
+		b.Helper()
+		srv, err := server.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st server.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		for st.State != "done" {
+			if st.State == "failed" || st.State == "cancelled" {
+				b.Fatalf("job %s: %s", st.State, st.Error)
+			}
+			time.Sleep(time.Millisecond)
+			sr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			sr.Body.Close()
+		}
+		rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadAll(rr.Body); err != nil {
+			b.Fatal(err)
+		}
+		rr.Body.Close()
+		if rr.StatusCode != http.StatusOK {
+			b.Fatalf("result status %d", rr.StatusCode)
+		}
+		return st.RunsExecuted
+	}
+
+	coldStart := time.Now()
+	if n := serve(); n == 0 {
+		b.Fatal("cold request executed no simulations")
+	}
+	cold := time.Since(coldStart)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := serve(); n != 0 {
+			b.Fatalf("warm request executed %d simulations, want 0", n)
 		}
 	}
 	warm := b.Elapsed() / time.Duration(b.N)

@@ -4,31 +4,77 @@ import (
 	"fmt"
 	"go/ast"
 	"strconv"
+	"strings"
 )
 
 // RuleGoroutineSafety is the goroutine-safety rule name (for allow
 // directives).
 const RuleGoroutineSafety = "goroutine-safety"
 
-// GoroutineSafety forbids concurrency in the simulation packages. The
+// concurrencyAllowedPackages are the module's scheduling layers: the only
+// internal packages where go statements and sync primitives are legitimate.
+// internal/experiments owns the bounded worker pool and singleflight;
+// internal/server owns the job registry, job semaphore, and HTTP handlers
+// on top of it. Everything they schedule — the simulation proper — must
+// stay single-threaded.
+var concurrencyAllowedPackages = []string{
+	"internal/experiments",
+	"internal/server",
+}
+
+func concurrencyAllowed(path string) bool {
+	for _, s := range concurrencyAllowedPackages {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// GoroutineSafety confines concurrency to the scheduling layers. The
 // parallel experiment runner (internal/experiments/runner.go) relies on
 // each sim.Run owning its whole object graph: a run started on any worker
 // must produce bit-identical results to a serial run. That holds only if
 // the simulation path itself is single-threaded, so `go` statements and the
-// sync / sync/atomic packages are allowed solely in internal/experiments —
-// the one place that schedules runs — and flagged everywhere on the
-// simulation path (see DESIGN.md §8).
+// sync / sync/atomic packages are allowed solely in the scheduling layers
+// (concurrencyAllowedPackages) and flagged everywhere else in internal/
+// (see DESIGN.md §8).
 //
-// Like determinism, the rule is transitive: a helper in any internal package
-// reachable from a simulation-path function is held to the same standard, so
-// a sim-path call cannot launder a goroutine spawn or a mutex through an
-// unchecked package.
+// Three passes enforce this. Simulation-path packages get the strictest
+// treatment, including an import-level check. Helpers in other internal
+// packages reachable from a simulation-path function are held to the same
+// standard (with the call chain rendered into the finding), so a sim-path
+// call cannot launder a goroutine spawn through an unchecked package —
+// including one reachable from the server's job execution. Finally, the
+// remaining internal packages are default-deny: concurrency added anywhere
+// outside the allowlist is a finding even before a sim-path call reaches
+// it, so the next scheduling layer must be added here deliberately.
 func GoroutineSafety() *Analyzer {
 	return &Analyzer{
 		Name: RuleGoroutineSafety,
-		Doc:  "forbid go statements and sync primitives on (or reachable from) the simulation path",
+		Doc:  "confine go statements and sync primitives to the scheduling layers (experiments, server)",
 		Run:  runGoroutineSafety,
 	}
+}
+
+// gsMessages selects the finding wording for one scan pass.
+type gsMessages struct {
+	goStmt string // complete message (suffix appended)
+	use    string // fmt: package name, object name, suffix
+}
+
+var gsSimPathMsgs = gsMessages{
+	goStmt: "go statement on the simulation path breaks per-run determinism; " +
+		"parallelism belongs to the experiments runner",
+	use: "use of %s.%s on the simulation path; " +
+		"simulation code must stay single-threaded — concurrency belongs to the experiments runner%s",
+}
+
+var gsLayerMsgs = gsMessages{
+	goStmt: "go statement outside the concurrency layers; " +
+		"goroutines are confined to internal/experiments and internal/server",
+	use: "use of %s.%s outside the concurrency layers; " +
+		"sync primitives are confined to internal/experiments and internal/server%s",
 }
 
 func runGoroutineSafety(prog *Program) []Diagnostic {
@@ -56,13 +102,16 @@ func runGoroutineSafety(prog *Program) []Diagnostic {
 			}
 			diags = append(diags, goroutineSafetyScan(prog, pkg, func(fn func(ast.Node) bool) {
 				ast.Inspect(file, fn)
-			}, "")...)
+			}, gsSimPathMsgs, "")...)
 		}
 	}
 
-	// Transitive pass: reachable helpers in other internal packages.
+	// Transitive pass: reachable helpers in other internal packages. The
+	// allowlist does not shield a function the sim path actually calls
+	// into — reachability outranks package identity.
 	g := prog.CallGraph()
 	parent := g.Reachable(simPathRoots(g))
+	seen := make(map[string]bool)
 	for _, n := range g.Nodes {
 		if _, ok := parent[n]; !ok {
 			continue
@@ -71,8 +120,45 @@ func runGoroutineSafety(prog *Program) []Diagnostic {
 			continue
 		}
 		via := Path(parent, n)
-		diags = append(diags, goroutineSafetyScan(prog, n.Pkg, n.InspectOwn,
-			fmt.Sprintf(" (reachable from the sim path: %s)", via))...)
+		for _, d := range goroutineSafetyScan(prog, n.Pkg, n.InspectOwn, gsSimPathMsgs,
+			fmt.Sprintf(" (reachable from the sim path: %s)", via)) {
+			diags = append(diags, d)
+			seen[d.Pos.String()] = true
+		}
+	}
+
+	// Default-deny pass: every other internal package. Positions already
+	// reported with a sim-path chain above are not re-reported.
+	for _, pkg := range prog.Pkgs {
+		if OnSimPath(pkg.Path) || concurrencyAllowed(pkg.Path) || !pathContainsElem(pkg.Path, "internal") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "sync" || path == "sync/atomic" {
+					d := Diagnostic{
+						Pos:  prog.Position(imp.Pos()),
+						Rule: RuleGoroutineSafety,
+						Message: fmt.Sprintf("import of %q outside the concurrency layers; "+
+							"concurrency is confined to internal/experiments and internal/server", path),
+					}
+					if !seen[d.Pos.String()] {
+						diags = append(diags, d)
+					}
+				}
+			}
+			for _, d := range goroutineSafetyScan(prog, pkg, func(fn func(ast.Node) bool) {
+				ast.Inspect(file, fn)
+			}, gsLayerMsgs, "") {
+				if !seen[d.Pos.String()] {
+					diags = append(diags, d)
+				}
+			}
+		}
 	}
 	return diags
 }
@@ -80,16 +166,15 @@ func runGoroutineSafety(prog *Program) []Diagnostic {
 // goroutineSafetyScan reports go statements and uses of sync / sync/atomic
 // found by one inspect walk. Detection is use-based (identifier resolution),
 // not import-based, so it works per-function for the transitive pass.
-func goroutineSafetyScan(prog *Program, pkg *Package, inspect func(func(ast.Node) bool), suffix string) []Diagnostic {
+func goroutineSafetyScan(prog *Program, pkg *Package, inspect func(func(ast.Node) bool), msgs gsMessages, suffix string) []Diagnostic {
 	var diags []Diagnostic
 	inspect(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
 			diags = append(diags, Diagnostic{
-				Pos:  prog.Position(n.Pos()),
-				Rule: RuleGoroutineSafety,
-				Message: "go statement on the simulation path breaks per-run determinism; " +
-					"parallelism belongs to the experiments runner" + suffix,
+				Pos:     prog.Position(n.Pos()),
+				Rule:    RuleGoroutineSafety,
+				Message: msgs.goStmt + suffix,
 			})
 		case *ast.SelectorExpr:
 			// sync.Mutex / atomic.AddUint64 / mu.Lock — resolve the selected
@@ -100,11 +185,9 @@ func goroutineSafetyScan(prog *Program, pkg *Package, inspect func(func(ast.Node
 			}
 			if path := obj.Pkg().Path(); path == "sync" || path == "sync/atomic" {
 				diags = append(diags, Diagnostic{
-					Pos:  prog.Position(n.Pos()),
-					Rule: RuleGoroutineSafety,
-					Message: fmt.Sprintf("use of %s.%s on the simulation path; "+
-						"simulation code must stay single-threaded — concurrency belongs to the experiments runner%s",
-						obj.Pkg().Name(), obj.Name(), suffix),
+					Pos:     prog.Position(n.Pos()),
+					Rule:    RuleGoroutineSafety,
+					Message: fmt.Sprintf(msgs.use, obj.Pkg().Name(), obj.Name(), suffix),
 				})
 			}
 		}

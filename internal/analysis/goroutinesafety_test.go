@@ -53,11 +53,44 @@ func f() {
 }`,
 		},
 		{
-			name: "go statement off the sim path is fine",
+			name: "go statement off the sim path hits the default deny",
 			path: "repro/internal/workloads",
 			src: `package workloads
 func f() {
 	go func() {}()
+}`,
+			want: []string{"fix.go:3: goroutine-safety: go statement outside the concurrency layers"},
+		},
+		{
+			name: "sync import off the sim path hits the default deny",
+			path: "repro/internal/graph",
+			src: `package graph
+import "sync"
+var mu sync.Mutex`,
+			want: []string{
+				`fix.go:2: goroutine-safety: import of "sync" outside the concurrency layers`,
+				"fix.go:3: goroutine-safety: use of sync.Mutex outside the concurrency layers",
+			},
+		},
+		{
+			name: "go statement and sync allowed in server",
+			path: "repro/internal/server",
+			src: `package server
+import "sync"
+type registry struct {
+	mu   sync.Mutex
+	jobs map[string]int
+}
+func (r *registry) launch() {
+	go func() {}()
+}`,
+		},
+		{
+			name: "allow directive suppresses the default deny",
+			path: "repro/internal/workloads",
+			src: `package workloads
+func f() {
+	go func() {}() //brlint:allow goroutine-safety
 }`,
 		},
 		{

@@ -172,7 +172,9 @@ func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if r.off+n > len(r.buf) {
+	// n < 0 happens when a corrupt 64-bit length overflowed int; comparing
+	// against len-off (instead of off+n) also avoids wrapping for huge n.
+	if n < 0 || n > len(r.buf)-r.off {
 		r.fail("read of %d bytes past end (off %d, len %d)", n, r.off, len(r.buf))
 		return nil
 	}
@@ -267,8 +269,32 @@ func (r *Reader) Len(want int) bool {
 }
 
 // LenAny reads a length with no expectation (for owner-sized collections
-// such as maps and pages).
-func (r *Reader) LenAny() int { return int(r.U64()) }
+// such as maps and pages). Every element of a serialized collection
+// occupies at least one payload byte, so a length exceeding the bytes left
+// in the buffer can only come from corrupt input; it fails the Reader
+// instead of flowing into a huge allocation downstream.
+func (r *Reader) LenAny() int { return r.LenBounded(1) }
+
+// LenBounded reads an owner-sized length whose elements each occupy at
+// least elemMinBytes of payload. Decoders that pre-size maps or slices from
+// untrusted blobs use it so a corrupt length surfaces as a sticky error
+// here, bounded by the actual buffer size, never as an out-of-memory
+// allocation.
+func (r *Reader) LenBounded(elemMinBytes int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if elemMinBytes < 1 {
+		elemMinBytes = 1
+	}
+	if rem := uint64(len(r.buf) - r.off); n > rem/uint64(elemMinBytes) {
+		r.fail("length %d exceeds the %d remaining payload bytes (>= %d bytes/element)",
+			n, rem, elemMinBytes)
+		return 0
+	}
+	return int(n)
+}
 
 // Section decodes one named section, checking name and version, and verifies
 // fn consumed exactly the payload.

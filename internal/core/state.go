@@ -70,7 +70,7 @@ func (c *Core) LoadState(r *brstate.Reader) error {
 	c.lastWriter = [isa.NumRegs]*DynUop{}
 	c.lsqCount = 0
 	c.mispFetchedUnresolved = 0
-	n := r.LenAny()
+	n := r.LenBounded(48) // 6 u64 fields per entry
 	c.Branches = make(map[uint64]*BranchStat, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		bs := &BranchStat{

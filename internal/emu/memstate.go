@@ -29,7 +29,7 @@ func (m *Memory) SaveState(w *brstate.Writer) {
 
 // LoadState implements brstate.Loader, replacing all resident pages.
 func (m *Memory) LoadState(r *brstate.Reader) error {
-	n := r.LenAny()
+	n := r.LenBounded(16) // page number + page-payload length prefix per entry
 	pages := make(map[uint64]*[pageSize]byte, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		pn := r.U64()

@@ -94,6 +94,13 @@ func (s *Suite) cacheLoad(key string, cfg sim.Config) (*sim.Result, bool) {
 	if err != nil {
 		return nil, false
 	}
+	return decodeCacheEntry(key, blob)
+}
+
+// decodeCacheEntry decodes one on-disk cache blob, verifying it belongs to
+// key. Any malformed, truncated, or key-mismatched blob is a miss (ok=false),
+// never a panic — FuzzLoadResult drives this path with mutated entries.
+func decodeCacheEntry(key string, blob []byte) (*sim.Result, bool) {
 	r, err := brstate.NewReader(blob)
 	if err != nil {
 		return nil, false
@@ -115,13 +122,8 @@ func (s *Suite) cacheLoad(key string, cfg sim.Config) (*sim.Result, bool) {
 	return res, true
 }
 
-// cacheStore writes the completed result for key atomically (temp file plus
-// rename), so a concurrent or interrupted writer can never leave a partial
-// entry behind a valid filename.
-func (s *Suite) cacheStore(key string, cfg sim.Config, res *sim.Result) error {
-	if !s.cacheEnabled() {
-		return nil
-	}
+// encodeCacheEntry renders the on-disk form of one completed result.
+func encodeCacheEntry(key string, res *sim.Result) []byte {
 	w := brstate.NewWriter()
 	w.Section("key", resultStateVersion, func(w *brstate.Writer) {
 		w.String(key)
@@ -129,7 +131,17 @@ func (s *Suite) cacheStore(key string, cfg sim.Config, res *sim.Result) error {
 	w.Section("result", resultStateVersion, func(w *brstate.Writer) {
 		saveResult(w, res)
 	})
-	return atomicWrite(s.cachePath(key, cfg), w.Bytes())
+	return w.Bytes()
+}
+
+// cacheStore writes the completed result for key atomically (temp file plus
+// rename), so a concurrent or interrupted writer can never leave a partial
+// entry behind a valid filename.
+func (s *Suite) cacheStore(key string, cfg sim.Config, res *sim.Result) error {
+	if !s.cacheEnabled() {
+		return nil
+	}
+	return atomicWrite(s.cachePath(key, cfg), encodeCacheEntry(key, res))
 }
 
 // execute runs one simulation point, resuming from a persisted barrier

@@ -59,6 +59,20 @@ type Options struct {
 	// under their own cache address and an interrupted-then-resumed suite
 	// matches an uninterrupted one exactly.
 	Resume bool
+	// Interrupt, when non-nil, is polled at the start of every simulation
+	// point; a non-nil return aborts that point (and therefore the figure
+	// or run requesting it) with the returned error before any work —
+	// including a cache probe — happens. Job cancellation in
+	// internal/server is built on it. It is called concurrently from
+	// worker goroutines and must be safe for that.
+	Interrupt func() error
+	// Notify, when non-nil, is invoked with the run key each time a point
+	// completes, whether served from cache or executed. Unlike Progress it
+	// fires in completion order — it exists for real-time heartbeats
+	// (job progress in internal/server), not for reproducible output.
+	// Invocations are serialized; the callback never runs concurrently
+	// with itself.
+	Notify func(key string)
 	// ShareWarmup runs every point in sim's WarmupBarrier mode and shares
 	// one warmup snapshot across all points that agree on (workload, warmup
 	// partition of the config) — a sweep warms up once per workload instead
@@ -111,6 +125,9 @@ type Suite struct {
 	progressMu sync.Mutex
 	batchDepth int
 	pending    map[string]string
+
+	// notifyMu serializes Options.Notify invocations across workers.
+	notifyMu sync.Mutex
 }
 
 // NewSuite returns an empty suite.
@@ -171,9 +188,15 @@ func vMTageBR(cfg runahead.Config) variant {
 func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
 	key := fmt.Sprintf("%s/%s/%d", wl, v.key, instrs)
 	return s.runner.do(key, func() (*sim.Result, error) {
+		if s.opts.Interrupt != nil {
+			if err := s.opts.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		cfg := s.simConfig(v, instrs)
 		if res, ok := s.cacheLoad(key, cfg); ok {
 			s.progress(key, runLine(wl, v.key, res))
+			s.notify(key)
 			return res, nil
 		}
 		w, err := workloads.ByName(wl, s.opts.Scale)
@@ -193,8 +216,90 @@ func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
 			return nil, fmt.Errorf("experiments: %s under %s: run cache: %w", wl, v.key, err)
 		}
 		s.progress(key, runLine(wl, v.key, res))
+		s.notify(key)
 		return res, nil
 	})
+}
+
+// notify delivers one completed run key to Options.Notify, serialized.
+func (s *Suite) notify(key string) {
+	if s.opts.Notify == nil {
+		return
+	}
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	s.opts.Notify(key)
+}
+
+// Predictors maps the public predictor names accepted by RunNamed (and the
+// brserve request schema) onto their simulator kinds. The names are the
+// figures' variant keys, so a named run and a figure point that agree on
+// (workload, predictor, BR config, budget) share one cache entry.
+func Predictors() map[string]sim.PredictorKind {
+	return map[string]sim.PredictorKind{
+		"tage64":     sim.PredTage64,
+		"tage80":     sim.PredTage80,
+		"mtage":      sim.PredMTage,
+		"gshare":     sim.PredGshare,
+		"perceptron": sim.PredPerceptron,
+		"tournament": sim.PredTournament,
+		"ldbp":       sim.PredLDBP,
+		"bullseye":   sim.PredBullseye,
+	}
+}
+
+// BRConfigs maps the public Branch Runahead configuration names onto their
+// constructors (the paper's Table 2 configurations).
+func BRConfigs() map[string]func() runahead.Config {
+	return map[string]func() runahead.Config{
+		"core-only": runahead.CoreOnly,
+		"mini":      runahead.Mini,
+		"big":       runahead.Big,
+	}
+}
+
+// namedVariant resolves public (predictor, BR config) names onto the
+// figures' variant-key convention so named runs alias onto figure cache
+// entries: a bare predictor keeps its own key ("tage64", "ldbp"), tage64
+// plus a BR config takes the config's key ("mini", "big", "core-only" — the
+// Figure 10 series), mtage+big is Figure 11's "mtage+big", and any other
+// predictor with Mini layered on top is Figure 15's "<pred>+br". Remaining
+// combinations get the explicit "<pred>+<br>" key.
+func namedVariant(predictor, brName string) (variant, error) {
+	pred, ok := Predictors()[predictor]
+	if !ok {
+		return variant{}, fmt.Errorf("experiments: unknown predictor %q", predictor)
+	}
+	if brName == "" {
+		return variant{key: predictor, pred: pred}, nil
+	}
+	mk, ok := BRConfigs()[brName]
+	if !ok {
+		return variant{}, fmt.Errorf("experiments: unknown BR config %q", brName)
+	}
+	cfg := mk()
+	switch {
+	case predictor == "tage64":
+		return variant{key: brName, pred: pred, br: &cfg}, nil
+	case predictor == "mtage" && brName == "big":
+		return variant{key: "mtage+big", pred: pred, br: &cfg}, nil
+	case brName == "mini":
+		return variant{key: predictor + "+br", pred: pred, br: &cfg}, nil
+	default:
+		return variant{key: predictor + "+" + brName, pred: pred, br: &cfg}, nil
+	}
+}
+
+// RunNamed executes (or loads from cache) one simulation point named by its
+// public predictor and BR configuration names, at the suite's Instrs
+// budget. brName "" runs the predictor alone. Safe for concurrent callers,
+// like run.
+func (s *Suite) RunNamed(wl, predictor, brName string) (*sim.Result, error) {
+	v, err := namedVariant(predictor, brName)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(wl, v, s.opts.Instrs)
 }
 
 // simConfig builds the simulator configuration for one point. Resumable

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestNamedVariantAliasing pins the key convention that lets a named
+// single run share cache entries with figure points.
+func TestNamedVariantAliasing(t *testing.T) {
+	cases := []struct {
+		pred, br string
+		wantKey  string
+		wantBR   bool
+	}{
+		{"tage64", "", "tage64", false},
+		{"ldbp", "", "ldbp", false},
+		{"tage64", "mini", "mini", true},
+		{"tage64", "big", "big", true},
+		{"tage64", "core-only", "core-only", true},
+		{"mtage", "big", "mtage+big", true},
+		{"bullseye", "mini", "bullseye+br", true},
+		{"gshare", "big", "gshare+big", true},
+	}
+	for _, c := range cases {
+		v, err := namedVariant(c.pred, c.br)
+		if err != nil {
+			t.Errorf("namedVariant(%q, %q): %v", c.pred, c.br, err)
+			continue
+		}
+		if v.key != c.wantKey {
+			t.Errorf("namedVariant(%q, %q).key = %q, want %q", c.pred, c.br, v.key, c.wantKey)
+		}
+		if (v.br != nil) != c.wantBR {
+			t.Errorf("namedVariant(%q, %q): BR config presence = %v, want %v", c.pred, c.br, v.br != nil, c.wantBR)
+		}
+	}
+}
+
+func TestNamedVariantRejectsUnknownNames(t *testing.T) {
+	if _, err := namedVariant("nonsense", ""); err == nil || !strings.Contains(err.Error(), "unknown predictor") {
+		t.Errorf("unknown predictor error = %v", err)
+	}
+	if _, err := namedVariant("tage64", "huge"); err == nil || !strings.Contains(err.Error(), "unknown BR config") {
+		t.Errorf("unknown BR config error = %v", err)
+	}
+}
+
+// TestInterruptAbortsRun pins that a tripped Interrupt hook aborts a point
+// before any simulation (or cache probe) happens.
+func TestInterruptAbortsRun(t *testing.T) {
+	o := QuickOptions()
+	stop := errors.New("job cancelled")
+	o.Interrupt = func() error { return stop }
+	s := NewSuite(o)
+	if _, err := s.run("mcf_17", vTage64(), o.Instrs); !errors.Is(err, stop) {
+		t.Fatalf("run under tripped Interrupt = %v, want %v", err, stop)
+	}
+	if n := s.RunsExecuted(); n != 0 {
+		t.Fatalf("interrupted suite executed %d simulations, want 0", n)
+	}
+}
+
+// TestNotifyFiresPerPoint pins that Notify sees every completed point
+// exactly once — on execution and again on a warm-cache replay.
+func TestNotifyFiresPerPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	collect := func() []string {
+		o := cacheTestOptions(dir)
+		var keys []string
+		o.Notify = func(key string) { keys = append(keys, key) }
+		s := NewSuite(o)
+		if _, err := s.RunNamed("mcf_17", "tage64", "mini"); err != nil {
+			t.Fatal(err)
+		}
+		return keys
+	}
+	cold := collect()
+	if len(cold) != 1 || !strings.Contains(cold[0], "mcf_17/mini/") {
+		t.Fatalf("cold Notify keys = %v, want one mcf_17/mini point", cold)
+	}
+	warm := collect()
+	if len(warm) != 1 || warm[0] != cold[0] {
+		t.Fatalf("warm Notify keys = %v, want %v", warm, cold)
+	}
+}

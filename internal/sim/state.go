@@ -232,7 +232,7 @@ func loadSnap(r *brstate.Reader) snap {
 		syncs:       r.U64(),
 	}
 	s.breakdown = stats.LoadCounterMap(r)
-	n := r.LenAny()
+	n := r.LenBounded(24) // 3 u64 fields per entry
 	s.perBranch = make(map[uint64]BranchResult, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		b := BranchResult{PC: r.U64(), Execs: r.U64(), Mispred: r.U64()}

@@ -92,12 +92,13 @@ func WarmupSnapshot(w *workloads.Workload, cfg Config) ([]byte, error) {
 	return wtr.Bytes(), nil
 }
 
-// RunFromWarmup restores a WarmupSnapshot blob into a fresh machine and
-// runs the measure phase under cfg, producing a Result bit-identical to a
-// straight-through Run of the same config. The runtime guard re-derives the
-// warmup key and refuses blobs from a config whose warmup-tagged fields
-// differ.
-func RunFromWarmup(w *workloads.Workload, cfg Config, blob []byte) (*Result, error) {
+// restoreWarmup builds a fresh machine under cfg and restores a
+// WarmupSnapshot blob into it, applying both runtime guards (workload and
+// warmup-key match) and the codec's sticky error checks. The blob is
+// untrusted input — it came off disk — so every failure mode must surface
+// here as an error, never a panic (FuzzWarmupBlob drives this path with
+// mutated blobs).
+func restoreWarmup(w *workloads.Workload, cfg Config, blob []byte) (*machine, error) {
 	if err := shareable(cfg); err != nil {
 		return nil, err
 	}
@@ -138,6 +139,19 @@ func RunFromWarmup(w *workloads.Workload, cfg Config, blob []byte) (*Result, err
 	m.loadComponentSections(l, loader)
 	if l.err != nil {
 		return nil, fmt.Errorf("sim %s: warmup blob: %w", w.Name, l.err)
+	}
+	return m, nil
+}
+
+// RunFromWarmup restores a WarmupSnapshot blob into a fresh machine and
+// runs the measure phase under cfg, producing a Result bit-identical to a
+// straight-through Run of the same config. The runtime guard re-derives the
+// warmup key and refuses blobs from a config whose warmup-tagged fields
+// differ.
+func RunFromWarmup(w *workloads.Workload, cfg Config, blob []byte) (*Result, error) {
+	m, err := restoreWarmup(w, cfg, blob)
+	if err != nil {
+		return nil, err
 	}
 	// The blob predates the boundary attach; install the runahead system now
 	// and take the boundary snapshot exactly as Run does after its warmup.

@@ -73,7 +73,7 @@ func SaveCounterMap(w *brstate.Writer, m map[string]uint64) {
 // LoadCounterMap reads a map written by SaveCounterMap. A zero-length map is
 // returned as nil so round trips preserve nil-ness of empty maps.
 func LoadCounterMap(r *brstate.Reader) map[string]uint64 {
-	n := r.LenAny()
+	n := r.LenBounded(16) // name length prefix + u64 value per entry
 	if n == 0 {
 		return nil
 	}
