@@ -43,22 +43,25 @@ test: build
 race:
 	$(GO) test -race ./internal/sim ./internal/runahead ./internal/experiments/... ./internal/server
 
-## bench-json: record the simulator-throughput, parallel-suite,
-## warm-cache, shared-warmup-sweep, Figure 15 predictor-head-to-head and
-## warm-HTTP-request benchmarks as committed JSON for cross-PR
-## comparison. Override BENCH_OUT to compare against a prior snapshot.
-BENCH_OUT ?= BENCH_6.json
+## bench-json: record the simulator-throughput (execution-driven and
+## trace-replay), parallel-suite, warm-cache, shared-warmup-sweep,
+## Figure 15 predictor-head-to-head and warm-HTTP-request benchmarks as
+## committed JSON for cross-PR comparison. Override BENCH_OUT to compare
+## against a prior snapshot.
+BENCH_OUT ?= BENCH_7.json
 bench-json:
-	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup|BenchmarkSweepWarmupShared|BenchmarkSuiteWarmCacheSpeedup|BenchmarkServeWarmRequest|BenchmarkFigure15$$' -run '^$$' -benchtime 3x . \
+	$(GO) test -bench 'BenchmarkBaselineSimSpeed|BenchmarkTraceReplaySpeed|BenchmarkRunaheadSimSpeed|BenchmarkSuiteParallelSpeedup|BenchmarkSweepWarmupShared|BenchmarkSuiteWarmCacheSpeedup|BenchmarkServeWarmRequest|BenchmarkFigure15$$' -run '^$$' -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 	@cat $(BENCH_OUT)
 
 ## fuzz-smoke: a bounded pass over each native fuzz target — the brstate
-## codec reader, the persistent-cache result decoder and the warmup
-## snapshot restore. CI runs this on every push; for a real fuzzing
-## session raise FUZZTIME or run the targets individually.
+## codec reader, the branch-trace decoder, the persistent-cache result
+## decoder and the warmup snapshot restore. CI runs this on every push;
+## for a real fuzzing session raise FUZZTIME or run the targets
+## individually.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/brstate
+	$(GO) test -run '^$$' -fuzz 'FuzzTraceReader$$' -fuzztime $(FUZZTIME) ./internal/btrace
 	$(GO) test -run '^$$' -fuzz 'FuzzLoadResult$$' -fuzztime $(FUZZTIME) ./internal/experiments
 	$(GO) test -run '^$$' -fuzz 'FuzzWarmupBlob$$' -fuzztime $(FUZZTIME) ./internal/sim

@@ -15,11 +15,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/btrace"
 	"repro/internal/server"
 	"repro/internal/workloads"
 )
@@ -306,6 +308,39 @@ func BenchmarkBaselineSimSpeed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := Run("mcf_17", RunConfig{Warmup: 0, MaxInstrs: 200_000, Scale: &scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "sim_ipc")
+	}
+}
+
+// BenchmarkTraceReplaySpeed measures simulator throughput replaying a
+// recorded trace of the BenchmarkBaselineSimSpeed run — the same machine,
+// fed from the .btr record stream instead of the functional emulator.
+// Replay skips correct-path execution at fetch, so this should beat
+// BenchmarkBaselineSimSpeed while producing the identical Result.
+func BenchmarkTraceReplaySpeed(b *testing.B) {
+	scale := workloads.SmallScale()
+	w, err := workloads.ByName("mcf_17", scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warmup 0 means the root API's 100k default; the trace must cover it.
+	tr, err := btrace.Record(w.Prog, w.Name, btrace.StepsFor(100_000, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "mcf.btr")
+	if err := btrace.WriteFile(path, tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := workloads.RegisterTrace("bench-replay", path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run("trace:bench-replay", RunConfig{Warmup: 0, MaxInstrs: 200_000, Scale: &scale})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,13 @@
 //	brexp -cache-dir .brexp-cache # skip points already computed by earlier invocations
 //	brexp -cache-dir .brexp-cache -resume   # also resume points interrupted mid-run
 //
+// Single-point mode runs one (workload, predictor, BR) combination — the
+// workload may be a recorded trace, replayed through the full machine:
+//
+//	brexp -workload mcf_17 -br mini
+//	brtrace record -workload leela_17 -o leela.btr
+//	brexp -workload trace:leela.btr
+//
 // Trace mode runs a single simulation with the structured event tracer
 // attached and writes a Chrome trace_event JSON file (open in Perfetto or
 // chrome://tracing); the trace's per-branch aggregation is cross-checked
@@ -50,6 +57,10 @@ func main() {
 		shareWarmup = flag.Bool("share-warmup", false, "warm up once per workload and fork each point from the shared snapshot (WarmupBarrier mode; overridden by -resume)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this path on exit")
+
+		workloadRun = flag.String("workload", "", "run one simulation point instead of figures: a kernel name or trace:<file.btr> (see -predictor/-br)")
+		predictor   = flag.String("predictor", "tage64", "predictor for -workload mode")
+		brConfig    = flag.String("br", "", "Branch Runahead config for -workload mode: core-only|mini|big (empty = predictor alone)")
 
 		traceOut      = flag.String("trace", "", "write a Chrome trace_event JSON of one run to this path and exit")
 		traceFilter   = flag.String("trace-filter", "", "only trace events for one branch: pc=0x...")
@@ -127,6 +138,26 @@ func main() {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 	s := br.NewExperiments(opts)
+
+	if *workloadRun != "" {
+		res, err := s.RunNamed(*workloadRun, *predictor, *brConfig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "brexp: -workload: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintf(os.Stderr, "brexp: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("%s under %s: IPC %.4f  MPKI %.4f  (%d instrs, %d cycles, %d mispredicts)\n",
+			res.Workload, res.Config, res.IPC, res.MPKI, res.Instrs, res.Cycles, res.Mispred)
+		return
+	}
 
 	type fig struct {
 		name string

@@ -36,6 +36,7 @@ func main() {
 		maxJobs      = flag.Int("max-jobs", 2, "jobs executing concurrently; further submissions queue")
 		resume       = flag.Bool("resume", false, "persist mid-run snapshots so interrupted jobs resume (needs -cache-dir)")
 		quick        = flag.Bool("quick", false, "reduced default budgets and small workload scale")
+		traceDir     = flag.String("trace-dir", "", "directory of recorded *.btr traces served as trace:<name> workloads")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs")
 	)
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		MaxJobs:  *maxJobs,
 		Resume:   *resume,
 		Quick:    *quick,
+		TraceDir: *traceDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "brserve: %v\n", err)

@@ -1,11 +1,22 @@
-// Command brtrace prints a per-event pipeline trace of a workload running
-// on the simulator — a debugging lens on fetch, dispatch, issue, complete,
-// retire, squash and flush events, with wrong-path micro-ops marked.
+// Command brtrace works with the simulator's instruction streams.
 //
-// Usage:
+// With no subcommand it prints a per-event pipeline trace of a workload
+// running on the simulator — a debugging lens on fetch, dispatch, issue,
+// complete, retire, squash and flush events, with wrong-path micro-ops
+// marked:
 //
 //	brtrace -workload leela_17 -start 5000 -cycles 200
 //	brtrace -workload mcf_17 -config mini -stages flush,retire
+//
+// The record subcommand captures a workload's correct-path execution as a
+// versioned .btr trace file; the simulator replays such traces through the
+// full core/runahead/cache/DRAM stack bit-identically to execution-driven
+// runs (pass the file as workload "trace:<path>" to brexp or register it
+// with brserve -trace-dir). info prints a trace file's identity:
+//
+//	brtrace record -workload leela_17 -o leela.btr
+//	brtrace record -workload mcf_17 -scale small -warmup 30000 -instrs 100000 -o mcf.btr
+//	brtrace info leela.btr
 package main
 
 import (
@@ -15,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/bpred"
+	"repro/internal/btrace"
 	"repro/internal/core"
 	"repro/internal/runahead"
 	"repro/internal/sim"
@@ -22,6 +34,109 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			if err := runRecord(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "brtrace: record:", err)
+				os.Exit(1)
+			}
+			return
+		case "info":
+			if err := runInfo(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "brtrace: info:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	runPipelineTrace()
+}
+
+// scaleByName maps the -scale flag onto workload footprints.
+func scaleByName(name string) (workloads.Scale, error) {
+	switch name {
+	case "default":
+		return workloads.DefaultScale(), nil
+	case "small":
+		return workloads.SmallScale(), nil
+	default:
+		return workloads.Scale{}, fmt.Errorf("unknown scale %q (want default or small)", name)
+	}
+}
+
+// runRecord captures one workload's correct path into a .btr file. The
+// budgets mirror the simulation the trace is meant to drive: the recording
+// covers warmup+instrs plus the fetch-ahead slack, so a replay with the same
+// budgets never exhausts the stream.
+func runRecord(args []string) error {
+	fs := flag.NewFlagSet("brtrace record", flag.ExitOnError)
+	var (
+		workload = fs.String("workload", "leela_17", "workload kernel to record")
+		scale    = fs.String("scale", "default", "workload footprint: default | small (match the replaying run)")
+		warmup   = fs.Uint64("warmup", 100_000, "warmup budget the trace must cover")
+		instrs   = fs.Uint64("instrs", 400_000, "measured budget the trace must cover")
+		steps    = fs.Uint64("steps", 0, "record exactly this many micro-ops instead of deriving from -warmup/-instrs")
+		out      = fs.String("o", "", "output path (default <workload>.btr)")
+	)
+	fs.Parse(args)
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		return err
+	}
+	w, err := workloads.ByName(*workload, sc)
+	if err != nil {
+		return err
+	}
+	n := *steps
+	if n == 0 {
+		n = btrace.StepsFor(*warmup, *instrs)
+	}
+	tr, err := btrace.Record(w.Prog, w.Name, n)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *workload + ".btr"
+	}
+	if err := btrace.WriteFile(path, tr); err != nil {
+		return err
+	}
+	enc := tr.Encode()
+	fmt.Printf("%s: %d records, %d uops, fingerprint %s (%d bytes)\n",
+		path, len(tr.Recs), len(tr.Prog.Uops), btrace.Fingerprint(enc), len(enc))
+	return nil
+}
+
+// runInfo prints a trace file's identity and shape.
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("brtrace info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: brtrace info <file.btr>")
+	}
+	path := fs.Arg(0)
+	tr, err := btrace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var dataBytes int
+	for _, seg := range tr.Prog.Data {
+		dataBytes += len(seg.Bytes)
+	}
+	fmt.Printf("name:        %s\n", tr.Name)
+	fmt.Printf("fingerprint: %s\n", tr.Fingerprint)
+	fmt.Printf("uops:        %d (entry %d)\n", len(tr.Prog.Uops), tr.Prog.Entry)
+	fmt.Printf("segments:    %d (%d bytes)\n", len(tr.Prog.Data), dataBytes)
+	fmt.Printf("records:     %d\n", len(tr.Recs))
+	fmt.Printf("workload:    trace:%s@%s\n", path, tr.Fingerprint)
+	return nil
+}
+
+// runPipelineTrace is the original brtrace behaviour: a per-event pipeline
+// event dump over a trace window.
+func runPipelineTrace() {
 	var (
 		workload = flag.String("workload", "leela_17", "workload kernel name")
 		config   = flag.String("config", "baseline", "baseline | core-only | mini | big")

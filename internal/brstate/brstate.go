@@ -162,6 +162,12 @@ func NewReader(b []byte) (*Reader, error) {
 // Err returns the first decode error, if any.
 func (r *Reader) Err() error { return r.err }
 
+// Remaining reports the payload bytes not yet consumed. Decoders of
+// complete, content-addressed blobs (run-cache entries, traces) check it is
+// zero after the last section so trailing garbage cannot hide inside bytes
+// that still fingerprint differently.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
 func (r *Reader) fail(format string, args ...any) {
 	if r.err == nil {
 		r.err = fmt.Errorf("brstate: "+format, args...)

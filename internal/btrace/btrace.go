@@ -1,0 +1,329 @@
+// Package btrace is the trace-driven front-end: a versioned, length-prefixed
+// branch/uop trace format plus a recorder and a replayer. A trace is
+// self-contained — it carries the static micro-op image and initial data
+// segments alongside the dynamic correct-path record stream — so a replayed
+// run drives the full core/runahead/cache/DRAM stack with no emulation on
+// the correct path, and the machine's wrong-path behaviour (real wrong-path
+// walking, store-overlay forwarding) is reproduced by interpreting the
+// static image from the checkpointed registers.
+//
+// Layout (brstate envelope, see that package for the section framing):
+//
+//	"BRST" | u32 format
+//	section "btmeta" v1: name | entry u64
+//	section "btprog" v1: uop count | uops (16 bytes each) | segment count |
+//	                     segments (base u64, length-prefixed bytes)
+//	section "btrecs" v1: record count | records (u32 pc, u8 bits, then
+//	                     conditionally: u8 flags, u64 value, u64 addr,
+//	                     u64 store value)
+//	"TSRB"
+//
+// Each record's bit vector is fully determined by its static opcode except
+// the taken bit of conditional branches; Decode rejects any mismatch, so a
+// decoded trace is structurally valid by construction (the fuzz target
+// leans on this).
+package btrace
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+
+	"repro/internal/brstate"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Section names and versions of the trace payload.
+const (
+	metaSection = "btmeta"
+	progSection = "btprog"
+	recsSection = "btrecs"
+
+	metaVersion = 1
+	progVersion = 1
+	recsVersion = 1
+)
+
+// Record bit-vector flags. All but bTaken are redundant with the static
+// opcode and exist so a decoder can cross-check the stream against the
+// image without trusting it.
+const (
+	bTaken      = 1 << 0 // branch went to its target (OpBr outcome; always set for OpJmp)
+	bWroteDst   = 1 << 1 // record carries a destination value
+	bWroteFlags = 1 << 2 // record carries the condition codes
+	bIsMem      = 1 << 3 // record carries a memory address
+	bIsStore    = 1 << 4 // record carries a store value
+	bHalted     = 1 << 5 // the halt micro-op
+)
+
+// Rec is one correct-path dynamic micro-op: which static micro-op executed
+// and the architectural effects replay applies instead of executing.
+// Conditional fields are meaningful only when the matching bit is set.
+type Rec struct {
+	PC       uint32
+	Bits     uint8
+	Flags    uint8  // packed condition codes after this micro-op (bWroteFlags)
+	Value    uint64 // destination value (bWroteDst)
+	Addr     uint64 // effective memory address (bIsMem)
+	StoreVal uint64 // stored value (bIsStore)
+}
+
+// Trace is a decoded trace: the static image plus the correct-path stream.
+type Trace struct {
+	Name string
+	// Prog is the static micro-op image with initial data segments; replay
+	// interprets it on the wrong path, and the decode cache, LDBP and the
+	// runahead chain extractor read it exactly as in execution-driven runs.
+	Prog *program.Program
+	Recs []Rec
+	// Fingerprint is the fnv1a-64 hex digest of the encoded bytes, set by
+	// Decode/ReadFile; it keys run-cache entries for trace workloads.
+	Fingerprint string
+}
+
+// opWritesDst mirrors emu.StepInPlace's destination-writing case split: data
+// operations and loads produce a value (even with an invalid destination
+// register, which Set discards), everything else does not.
+func opWritesDst(op isa.Op) bool {
+	switch op {
+	case isa.OpNop, isa.OpHalt, isa.OpBr, isa.OpJmp, isa.OpCmp, isa.OpTest, isa.OpSt:
+		return false
+	}
+	return true
+}
+
+// expectedBits returns the bit vector op implies, with the taken bit left to
+// the caller (meaningful for OpBr only; OpJmp is always taken).
+func expectedBits(op isa.Op) uint8 {
+	var b uint8
+	if op == isa.OpJmp {
+		b |= bTaken
+	}
+	if opWritesDst(op) {
+		b |= bWroteDst
+	}
+	if op.WritesFlags() {
+		b |= bWroteFlags
+	}
+	if op.IsMem() {
+		b |= bIsMem
+	}
+	if op.IsStore() {
+		b |= bIsStore
+	}
+	if op == isa.OpHalt {
+		b |= bHalted
+	}
+	return b
+}
+
+// Encode serializes the trace.
+func (t *Trace) Encode() []byte {
+	w := brstate.NewWriter()
+	w.Section(metaSection, metaVersion, func(w *brstate.Writer) {
+		w.String(t.Name)
+		w.U64(t.Prog.Entry)
+	})
+	w.Section(progSection, progVersion, func(w *brstate.Writer) {
+		w.Len(len(t.Prog.Uops))
+		for i := range t.Prog.Uops {
+			u := &t.Prog.Uops[i]
+			w.U8(uint8(u.Op))
+			w.U8(uint8(u.Dst))
+			w.U8(uint8(u.Src1))
+			w.U8(uint8(u.Src2))
+			w.U8(uint8(u.Cond))
+			w.U8(u.Scale)
+			w.U8(u.MemSize)
+			var fl uint8
+			if u.UseImm {
+				fl |= 1
+			}
+			if u.Signed {
+				fl |= 2
+			}
+			w.U8(fl)
+			w.I64(u.Imm)
+		}
+		w.Len(len(t.Prog.Data))
+		for _, seg := range t.Prog.Data {
+			w.U64(seg.Base)
+			w.Bytes64(seg.Bytes)
+		}
+	})
+	w.Section(recsSection, recsVersion, func(w *brstate.Writer) {
+		w.Len(len(t.Recs))
+		for i := range t.Recs {
+			rec := &t.Recs[i]
+			w.U32(rec.PC)
+			w.U8(rec.Bits)
+			if rec.Bits&bWroteFlags != 0 {
+				w.U8(rec.Flags)
+			}
+			if rec.Bits&bWroteDst != 0 {
+				w.U64(rec.Value)
+			}
+			if rec.Bits&bIsMem != 0 {
+				w.U64(rec.Addr)
+			}
+			if rec.Bits&bIsStore != 0 {
+				w.U64(rec.StoreVal)
+			}
+		}
+	})
+	return w.Bytes()
+}
+
+// Decode parses and validates a trace. The static image must pass
+// program.Validate and every record must be consistent with its micro-op's
+// opcode, so downstream replay never range-checks or trusts the stream.
+func Decode(b []byte) (*Trace, error) {
+	r, err := brstate.NewReader(b)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Prog: &program.Program{}}
+	badFl := false
+	r.Section(metaSection, metaVersion, func(r *brstate.Reader) {
+		t.Name = r.String()
+		t.Prog.Entry = r.U64()
+	})
+	r.Section(progSection, progVersion, func(r *brstate.Reader) {
+		n := r.LenBounded(16)
+		t.Prog.Uops = make([]isa.Uop, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			u := &t.Prog.Uops[i]
+			u.PC = uint64(i)
+			u.Op = isa.Op(r.U8())
+			u.Dst = isa.Reg(r.U8())
+			u.Src1 = isa.Reg(r.U8())
+			u.Src2 = isa.Reg(r.U8())
+			u.Cond = isa.Cond(r.U8())
+			u.Scale = r.U8()
+			u.MemSize = r.U8()
+			fl := r.U8()
+			if fl&^3 != 0 && r.Err() == nil {
+				// Unknown flag bits would be dropped by re-encoding,
+				// breaking byte-stability; reject them instead.
+				badFl = true
+			}
+			u.UseImm = fl&1 != 0
+			u.Signed = fl&2 != 0
+			u.Imm = r.I64()
+		}
+		ns := r.LenBounded(16)
+		t.Prog.Data = make([]program.Segment, 0, ns)
+		for i := 0; i < ns && r.Err() == nil; i++ {
+			base := r.U64()
+			t.Prog.Data = append(t.Prog.Data, program.Segment{Base: base, Bytes: r.Bytes64()})
+		}
+	})
+	r.Section(recsSection, recsVersion, func(r *brstate.Reader) {
+		n := r.LenBounded(5)
+		t.Recs = make([]Rec, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			rec := &t.Recs[i]
+			rec.PC = r.U32()
+			rec.Bits = r.U8()
+			if rec.Bits&bWroteFlags != 0 {
+				rec.Flags = r.U8()
+			}
+			if rec.Bits&bWroteDst != 0 {
+				rec.Value = r.U64()
+			}
+			if rec.Bits&bIsMem != 0 {
+				rec.Addr = r.U64()
+			}
+			if rec.Bits&bIsStore != 0 {
+				rec.StoreVal = r.U64()
+			}
+		}
+	})
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if badFl {
+		return nil, fmt.Errorf("btrace: unknown micro-op flag bits")
+	}
+	if n := r.Remaining(); n != 0 {
+		return nil, fmt.Errorf("btrace: %d trailing bytes after the record section", n)
+	}
+	t.Prog.Name = t.Name
+	if len(t.Prog.Uops) > math.MaxUint32 {
+		return nil, fmt.Errorf("btrace: %d micro-ops exceed the 32-bit record PC space", len(t.Prog.Uops))
+	}
+	if err := t.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("btrace: invalid static image: %w", err)
+	}
+	for i := range t.Recs {
+		if err := t.validateRec(i); err != nil {
+			return nil, err
+		}
+	}
+	t.Fingerprint = Fingerprint(b)
+	return t, nil
+}
+
+func (t *Trace) validateRec(i int) error {
+	rec := &t.Recs[i]
+	if uint64(rec.PC) >= uint64(len(t.Prog.Uops)) {
+		return fmt.Errorf("btrace: record %d: pc %d outside the %d-uop image", i, rec.PC, len(t.Prog.Uops))
+	}
+	op := t.Prog.Uops[rec.PC].Op
+	want := expectedBits(op)
+	got := rec.Bits
+	if op == isa.OpBr {
+		// The taken bit is the one genuinely dynamic bit.
+		got &^= bTaken
+	}
+	if got != want {
+		return fmt.Errorf("btrace: record %d: bits %#02x inconsistent with %v at pc %d (want %#02x)",
+			i, rec.Bits, op, rec.PC, want)
+	}
+	if rec.Flags > 7 {
+		return fmt.Errorf("btrace: record %d: condition codes %#02x out of range", i, rec.Flags)
+	}
+	return nil
+}
+
+// Fingerprint returns the fnv1a-64 hex digest of an encoded trace, the
+// content address used in run-cache keys and canonical workload names.
+func Fingerprint(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// WriteFile encodes the trace to path.
+func WriteFile(path string, t *Trace) error {
+	return os.WriteFile(path, t.Encode(), 0o644)
+}
+
+// ReadFile decodes the trace at path, fingerprinting the raw bytes.
+func ReadFile(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Sentinel replay errors. They are package variables, not formatted errors,
+// because the replayer's fetch path is allocation-barred (brlint
+// hot-path-alloc); Core.Run wraps them with cycle/retire context.
+var (
+	// ErrExhausted means the simulated budget fetched past the recorded
+	// stream: the trace is shorter than warmup+measure plus the fetch-ahead
+	// window (see StepsFor).
+	ErrExhausted = errors.New("btrace: trace exhausted (recorded run shorter than the simulated budget)")
+	// ErrDiverged means correct-path fetch asked for a PC that contradicts
+	// the next record — the trace does not belong to this execution.
+	ErrDiverged = errors.New("btrace: replay diverged from the recorded correct path")
+)

@@ -1,0 +1,48 @@
+package btrace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/btrace"
+)
+
+// FuzzTraceReader throws arbitrary bytes at the trace decoder. Decode must
+// never panic or allocation-bomb, and anything it accepts must re-encode to
+// the same bytes (traces are content-addressed by fingerprint, so accepted
+// inputs that are not byte-stable would alias distinct cache keys).
+func FuzzTraceReader(f *testing.F) {
+	tr := mustRecordSeed(f)
+	f.Add(tr.Encode())
+	// Truncations and bit flips of a valid trace seed the interesting
+	// neighborhood: plausible envelopes with corrupt payloads.
+	enc := tr.Encode()
+	f.Add(enc[:len(enc)/2])
+	flip := append([]byte(nil), enc...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)
+	f.Add([]byte("BRST"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		decoded, err := btrace.Decode(b)
+		if err != nil {
+			return
+		}
+		re := decoded.Encode()
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted trace is not byte-stable: %d in, %d out", len(b), len(re))
+		}
+		if decoded.Fingerprint != btrace.Fingerprint(b) {
+			t.Fatal("fingerprint does not address the input bytes")
+		}
+	})
+}
+
+func mustRecordSeed(f *testing.F) *btrace.Trace {
+	f.Helper()
+	tr, err := btrace.Record(histogramProgram(32, 1), "", 2_000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return tr
+}

@@ -1,0 +1,75 @@
+package btrace
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// FetchAheadSlack is the extra correct-path records a trace carries beyond
+// the retirement budget: the core fetches ahead of retirement by at most
+// the ROB plus the fetch queue, and a run is cut off by its retired count,
+// so a modest fixed slack covers any configured window.
+const FetchAheadSlack = 8192
+
+// StepsFor returns the recording length that lets a simulation retire
+// warmup+instrs micro-ops without exhausting the trace mid-fetch.
+func StepsFor(warmup, instrs uint64) uint64 {
+	return warmup + instrs + FetchAheadSlack
+}
+
+// Record functionally executes p for at most steps micro-ops (stopping at
+// halt) and returns the trace of the run. The recorded load values equal
+// what a pipelined fetch-time load observes through the store overlay —
+// fetch is in program order, so committed memory plus in-flight stores is
+// exactly the memory every older store has reached — which is what makes
+// replayed runs bit-equal to executed ones.
+func Record(p *program.Program, name string, steps uint64) (*Trace, error) {
+	if name == "" {
+		name = p.Name
+	}
+	r := emu.NewRunner(p)
+	cap0 := steps
+	if cap0 > 1<<20 {
+		// Large budgets usually mean "until halt"; let append grow instead
+		// of committing the worst case up front.
+		cap0 = 1 << 20
+	}
+	recs := make([]Rec, 0, cap0)
+	for uint64(len(recs)) < steps {
+		pc := r.State.PC
+		u := p.At(pc)
+		if u == nil {
+			return nil, fmt.Errorf("btrace: record %q: pc %d outside program at step %d", name, pc, len(recs))
+		}
+		res, err := r.StepOne()
+		if err != nil {
+			return nil, err
+		}
+		rec := Rec{PC: uint32(pc), Bits: expectedBits(u.Op)}
+		if u.Op == isa.OpBr && res.Taken {
+			rec.Bits |= bTaken
+		}
+		if rec.Bits&bWroteFlags != 0 {
+			rec.Flags = uint8(r.State.Regs.Get(isa.RegFlags))
+		}
+		if rec.Bits&bWroteDst != 0 {
+			rec.Value = res.Value
+		}
+		if rec.Bits&bIsMem != 0 {
+			rec.Addr = res.MemAddr
+		}
+		if rec.Bits&bIsStore != 0 {
+			rec.StoreVal = res.StoreVal
+		}
+		recs = append(recs, rec)
+		if res.Halted {
+			break
+		}
+	}
+	// The image is shared with the live program: traces are read-only and
+	// programs are immutable after Build.
+	return &Trace{Name: name, Prog: p, Recs: recs}, nil
+}

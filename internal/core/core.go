@@ -26,11 +26,10 @@ type BranchStat struct {
 type Core struct {
 	// cfg and the wired units below are construction-time configuration,
 	// rebuilt by the machine builder before a snapshot is loaded into it.
-	cfg  Config
-	prog *program.Program
-	mem  *emu.Memory
-	fe   *frontend
-	bp   bpred.Predictor
+	cfg Config
+	src InstrSource
+	fe  *frontend
+	bp  bpred.Predictor
 	// bpObs is bp's optional retire observer, resolved once at
 	// construction so the retire loop avoids a per-uop type assertion.
 	bpObs bpred.RetireObserver //brlint:allow snapshot-coverage
@@ -105,12 +104,12 @@ type decInfo struct {
 	lat      uint64
 }
 
-func buildDecode(cfg *Config, p *program.Program) []decInfo {
-	dec := make([]decInfo, p.Len())
+func buildDecode(cfg *Config, src InstrSource) []decInfo {
+	dec := make([]decInfo, src.NumUops())
 	var srcBuf [4]isa.Reg
 	var dstBuf [2]isa.Reg
 	for pc := range dec {
-		u := p.At(uint64(pc))
+		u := src.UopAt(uint64(pc))
 		de := &dec[pc]
 		de.nsrc = uint8(copy(de.srcs[:], u.SrcRegs(srcBuf[:0])))
 		de.ndst = uint8(copy(de.dsts[:], u.DstRegs(dstBuf[:0])))
@@ -165,21 +164,28 @@ func newCoreCounters(c *stats.Counters) CoreCounters {
 	}
 }
 
-// New wires a core over a program, a committed memory image, a branch
-// predictor, a memory hierarchy and an optional extension.
+// New wires a core over a program executed functionally at fetch time (the
+// execution-driven front-end). It is shorthand for NewWithSource over
+// emu.NewSource(p).
 func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext Extension) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic("core: " + err.Error())
 	}
-	mem := emu.NewMemory()
-	for _, seg := range p.Data {
-		mem.LoadSegment(seg.Base, seg.Bytes)
+	return NewWithSource(cfg, emu.NewSource(p), bp, hier, ext)
+}
+
+// NewWithSource wires a core over any instruction source — the seam that
+// lets the same machine run execution-driven (emu.Source) or trace-driven
+// (btrace.Source) — plus a branch predictor, a memory hierarchy and an
+// optional extension.
+func NewWithSource(cfg Config, src InstrSource, bp bpred.Predictor, hier Hierarchy, ext Extension) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic("core: " + err.Error())
 	}
 	c := &Core{
 		cfg:      cfg,
-		prog:     p,
-		mem:      mem,
-		fe:       newFrontend(p, mem, cfg.FetchQSize+cfg.ROBSize),
+		src:      src,
+		fe:       newFrontend(src, cfg.FetchQSize+cfg.ROBSize),
 		bp:       bp,
 		hier:     hier,
 		ext:      ext,
@@ -191,7 +197,7 @@ func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext
 		c.bpObs = obs
 	}
 	c.curFetchLine = ^uint64(0)
-	c.dec = buildDecode(&cfg, p)
+	c.dec = buildDecode(&cfg, src)
 	c.robBuf = make([]*DynUop, 2*cfg.ROBSize)
 	c.fetchQBuf = make([]*DynUop, 2*cfg.FetchQSize)
 	c.rob = c.robBuf[:0]
@@ -204,7 +210,7 @@ func New(cfg Config, p *program.Program, bp bpred.Predictor, hier Hierarchy, ext
 }
 
 // Memory exposes the committed architectural memory (the DCE reads it).
-func (c *Core) Memory() *emu.Memory { return c.mem }
+func (c *Core) Memory() *emu.Memory { return c.fe.mem }
 
 // SetExtension attaches an extension after construction (the Branch
 // Runahead system needs the core's committed memory, which exists only
@@ -221,10 +227,15 @@ func (c *Core) Now() uint64 { return c.now }
 func (c *Core) Halted() bool { return c.haltRetired }
 
 // Run executes until maxRetired micro-ops have retired, the program halts,
-// or a safety cycle bound trips. It returns the retired count.
+// the instruction source fails, or a safety cycle bound trips. It returns
+// the retired count.
 func (c *Core) Run(maxRetired uint64) (uint64, error) {
 	cycleCap := c.now + maxRetired*200 + 1_000_000
 	for c.Ctr.Retired.Get() < maxRetired && !c.haltRetired {
+		if err := c.fe.srcErr; err != nil {
+			return c.Ctr.Retired.Get(), fmt.Errorf("core: instruction source failed at cycle %d, retired %d: %w",
+				c.now, c.Ctr.Retired.Get(), err)
+		}
 		if c.now > cycleCap {
 			return c.Ctr.Retired.Get(), fmt.Errorf("core: cycle cap exceeded (deadlock?) at cycle %d, retired %d",
 				c.now, c.Ctr.Retired.Get())
@@ -747,7 +758,7 @@ func (c *Core) fetch() {
 		if pc < uint64(len(c.dec)) && c.dec[pc].isCondBr {
 			d = c.fetchCondBranch(pc)
 		} else {
-			d = c.fe.fetchUop(c.seq)
+			d = c.fe.fetchUop(c.seq, wrongPath)
 		}
 		if d == nil {
 			return
@@ -792,7 +803,7 @@ func (c *Core) fetchCondBranch(pc uint64) *DynUop {
 	wrongPath := c.mispFetchedUnresolved > 0
 
 	basePred, info := c.bp.Predict(pc)
-	d := c.fe.fetchUop(c.seq)
+	d := c.fe.fetchUop(c.seq, wrongPath)
 	if d == nil {
 		// No micro-op was produced, so nothing will ever retire or squash
 		// these checkpoints: hand them straight back.

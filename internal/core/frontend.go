@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/emu"
 	"repro/internal/isa"
-	"repro/internal/program"
 )
 
 // storeRec is one in-flight store visible to younger fetch-time loads.
@@ -18,17 +17,20 @@ type storeRec struct {
 // The store overlay is not copied: recovery trims it by sequence number.
 type feCheckpoint struct {
 	regs    emu.RegFile
+	pos     uint64 // source stream position (trace-driven sources)
 	invalid bool
 	halted  bool
 }
 
-// frontend is the execution-driven fetch engine: it executes micro-ops
-// functionally at fetch time, following predicted branch directions (and so
-// walking real wrong paths), with in-flight stores forwarded to younger
-// loads through the overlay.
+// frontend is the fetch engine: it obtains each micro-op and its
+// architectural effects from an InstrSource at fetch time, following
+// predicted branch directions (and so walking real wrong paths), with
+// in-flight stores forwarded to younger loads through the overlay. Whether
+// the effects come from functional execution or trace replay is the
+// source's business.
 type frontend struct {
-	prog *program.Program
-	mem  *emu.Memory // committed architectural memory
+	src  InstrSource
+	mem  *emu.Memory // committed architectural memory (src.Memory())
 	regs emu.RegFile
 	pc   uint64
 
@@ -47,16 +49,19 @@ type frontend struct {
 	invalid bool
 	// halted is set when OpHalt is fetched on the correct path.
 	halted bool
+	// srcErr is the sticky fatal source error (trace exhausted/diverged).
+	// Fetch stalls permanently; Core.Run surfaces it to the caller.
+	srcErr error
 }
 
 // slabSize is the DynUop bump-allocator chunk length.
 const slabSize = 4096
 
-// newFrontend builds a fetch engine; storeBound is the architectural bound
-// on in-flight stores (every un-retired store sits in the fetch queue or
-// the ROB).
-func newFrontend(p *program.Program, mem *emu.Memory, storeBound int) *frontend {
-	f := &frontend{prog: p, mem: mem, pc: p.Entry}
+// newFrontend builds a fetch engine over src; storeBound is the
+// architectural bound on in-flight stores (every un-retired store sits in
+// the fetch queue or the ROB).
+func newFrontend(src InstrSource, storeBound int) *frontend {
+	f := &frontend{src: src, mem: src.Memory(), pc: src.Entry()}
 	f.storeBuf = make([]storeRec, 2*storeBound)
 	f.stores = f.storeBuf[:0]
 	return f
@@ -99,15 +104,16 @@ func (f *frontend) Load(addr uint64, size uint8, signed bool) uint64 {
 // (which knows the DynUop), so this is a no-op hook.
 func (f *frontend) Store(uint64, uint8, uint64) {}
 
-// checkpoint captures the register state and stall flag.
+// checkpoint captures the register state, source position and stall flags.
 func (f *frontend) checkpoint() feCheckpoint {
-	return feCheckpoint{regs: f.regs, invalid: f.invalid, halted: f.halted}
+	return feCheckpoint{regs: f.regs, pos: f.src.Pos(), invalid: f.invalid, halted: f.halted}
 }
 
-// recover restores the checkpointed state, trims wrong-path stores and
-// redirects fetch to pc.
+// recover restores the checkpointed state, rewinds the source, trims
+// wrong-path stores and redirects fetch to pc.
 func (f *frontend) recover(cp feCheckpoint, pc uint64, causeSeq uint64) {
 	f.regs = cp.regs
+	f.src.SetPos(cp.pos)
 	f.invalid = false
 	f.halted = cp.halted
 	f.pc = pc
@@ -130,14 +136,19 @@ func (f *frontend) retireStore(d *DynUop) {
 	f.mem.Write(s.addr, s.size, s.val)
 }
 
-// fetchUop functionally executes the micro-op at the current fetch PC and
-// returns its effects. It returns nil when fetch is stalled (off-program PC
-// or halt seen).
-func (f *frontend) fetchUop(seq uint64) *DynUop {
+// fetchUop obtains the micro-op at the current fetch PC from the source and
+// returns its effects. It returns nil when fetch is stalled (off-program PC,
+// halt seen, or a fatal source error).
+func (f *frontend) fetchUop(seq uint64, wrongPath bool) *DynUop {
 	if f.invalid || f.halted {
 		return nil
 	}
-	u := f.prog.At(f.pc)
+	u, res, err := f.src.FetchExec(f.pc, &f.regs, f, wrongPath)
+	if err != nil {
+		f.srcErr = err
+		f.invalid = true
+		return nil
+	}
 	if u == nil {
 		f.invalid = true
 		return nil
@@ -145,10 +156,8 @@ func (f *frontend) fetchUop(seq uint64) *DynUop {
 	d := f.newDynUop()
 	d.Seq = seq
 	d.U = u
-	st := emu.State{Regs: f.regs, PC: f.pc}
-	d.Res = st.Step(u, f)
-	f.regs = st.Regs
-	f.pc = st.PC
+	d.Res = res
+	f.pc = res.NextPC
 	switch u.Op {
 	case isa.OpSt:
 		f.stores = pushQueue(f.storeBuf, f.stores,

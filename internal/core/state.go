@@ -47,6 +47,11 @@ func (c *Core) SaveState(w *brstate.Writer) {
 		w.U64(bs.DCECorrect)
 	}
 	c.C.SaveState(w)
+	// Source state beyond the architectural registers/PC/memory above. The
+	// execution-driven source writes nothing here, so pre-seam snapshots
+	// stay byte-identical and loadable; the trace source persists its
+	// stream position.
+	c.src.SaveExtra(w)
 }
 
 // LoadState implements brstate.Loader, restoring into a freshly-constructed
@@ -63,6 +68,7 @@ func (c *Core) LoadState(r *brstate.Reader) error {
 	c.fe.pc = r.U64()
 	c.fe.invalid = r.Bool()
 	c.fe.halted = r.Bool()
+	c.fe.srcErr = nil
 	c.fe.stores = c.fe.stores[:0]
 	c.fetchQ = c.fetchQ[:0]
 	c.rob = c.rob[:0]
@@ -88,5 +94,8 @@ func (c *Core) LoadState(r *brstate.Reader) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	return c.C.LoadState(r)
+	if err := c.C.LoadState(r); err != nil {
+		return err
+	}
+	return c.src.LoadExtra(r)
 }

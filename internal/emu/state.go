@@ -83,6 +83,16 @@ func MemAddress(u *isa.Uop, regs *RegFile) uint64 {
 // through mem. Step never fails: unmapped loads read zero, making wrong-path
 // execution total.
 func (s *State) Step(u *isa.Uop, mem MemView) StepResult {
+	res := StepInPlace(u, &s.Regs, mem)
+	s.PC = res.NextPC
+	return res
+}
+
+// StepInPlace executes one micro-op against regs directly, returning its
+// effects. It is the register-file-in-place form of State.Step (no PC field,
+// no register copy), shared by the execution-driven instruction source and
+// the trace replayer's wrong-path interpreter.
+func StepInPlace(u *isa.Uop, regs *RegFile, mem MemView) StepResult {
 	res := StepResult{NextPC: u.PC + 1}
 	switch u.Op {
 	case isa.OpNop:
@@ -94,7 +104,7 @@ func (s *State) Step(u *isa.Uop, mem MemView) StepResult {
 		res.IsCond = true
 		res.Target = uint64(u.Imm)
 		res.FallThrou = u.PC + 1
-		res.Taken = u.Cond.Eval(s.Regs.Flags())
+		res.Taken = u.Cond.Eval(regs.Flags())
 		if res.Taken {
 			res.NextPC = res.Target
 		}
@@ -105,44 +115,43 @@ func (s *State) Step(u *isa.Uop, mem MemView) StepResult {
 		res.FallThrou = u.PC + 1
 		res.NextPC = res.Target
 	case isa.OpCmp:
-		b := s.operand2(u)
-		s.Regs.SetFlags(isa.CompareFlags(s.Regs.Get(u.Src1), b))
+		b := operand2(u, regs)
+		regs.SetFlags(isa.CompareFlags(regs.Get(u.Src1), b))
 	case isa.OpTest:
-		b := s.operand2(u)
-		s.Regs.SetFlags(isa.TestFlags(s.Regs.Get(u.Src1), b))
+		b := operand2(u, regs)
+		regs.SetFlags(isa.TestFlags(regs.Get(u.Src1), b))
 	case isa.OpLd:
 		res.IsMem = true
 		res.IsLoad = true
-		res.MemAddr = MemAddress(u, &s.Regs)
+		res.MemAddr = MemAddress(u, regs)
 		res.MemSize = u.MemSize
 		v := mem.Load(res.MemAddr, u.MemSize, u.Signed)
-		s.Regs.Set(u.Dst, v)
+		regs.Set(u.Dst, v)
 		res.Value = v
 		res.WroteDst = true
 	case isa.OpSt:
 		res.IsMem = true
-		res.MemAddr = MemAddress(u, &s.Regs)
+		res.MemAddr = MemAddress(u, regs)
 		res.MemSize = u.MemSize
-		res.StoreVal = s.Regs.Get(u.Dst)
+		res.StoreVal = regs.Get(u.Dst)
 		mem.Store(res.MemAddr, u.MemSize, res.StoreVal)
 	default:
 		// Data operations.
-		a := s.Regs.Get(u.Src1)
-		b := s.operand2(u)
+		a := regs.Get(u.Src1)
+		b := operand2(u, regs)
 		v := isa.ALUResult(u.Op, a, b, u.Imm)
-		s.Regs.Set(u.Dst, v)
+		regs.Set(u.Dst, v)
 		res.Value = v
 		res.WroteDst = true
 	}
-	s.PC = res.NextPC
 	return res
 }
 
-func (s *State) operand2(u *isa.Uop) uint64 {
+func operand2(u *isa.Uop, regs *RegFile) uint64 {
 	if u.UseImm {
 		return uint64(u.Imm)
 	}
-	return s.Regs.Get(u.Src2)
+	return regs.Get(u.Src2)
 }
 
 // Runner couples a program, a memory and a state for plain functional

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -128,6 +129,14 @@ type Suite struct {
 
 	// notifyMu serializes Options.Notify invocations across workers.
 	notifyMu sync.Mutex
+
+	// traceMu guards traceWl, the memo of resolved trace-backed workloads
+	// keyed by both the requested spec ("trace:name", "trace:path") and the
+	// canonical fingerprinted name it resolved to — so each trace file is
+	// read and validated once per suite, and the miss path of run can fetch
+	// the workload its canonicalized key was derived from.
+	traceMu sync.Mutex
+	traceWl map[string]*workloads.Workload
 }
 
 // NewSuite returns an empty suite.
@@ -136,6 +145,7 @@ func NewSuite(opts Options) *Suite {
 		opts:    opts,
 		runner:  newRunner(opts.Jobs),
 		pending: make(map[string]string),
+		traceWl: make(map[string]*workloads.Workload),
 	}
 }
 
@@ -186,6 +196,14 @@ func vMTageBR(cfg runahead.Config) variant {
 // loaded from disk instead of simulated; either way the same Progress line
 // is emitted, so warm and cold suites produce identical output streams.
 func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
+	// Trace workloads canonicalize to their fingerprinted name before the
+	// key is formed, so the run cache addresses the trace content: two
+	// suites pointed at the same path hit the same entries only while the
+	// file's bytes are identical.
+	wl, err := s.canonicalName(wl)
+	if err != nil {
+		return nil, err
+	}
 	key := fmt.Sprintf("%s/%s/%d", wl, v.key, instrs)
 	return s.runner.do(key, func() (*sim.Result, error) {
 		if s.opts.Interrupt != nil {
@@ -199,7 +217,7 @@ func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
 			s.notify(key)
 			return res, nil
 		}
-		w, err := workloads.ByName(wl, s.opts.Scale)
+		w, err := s.workload(wl)
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +237,45 @@ func (s *Suite) run(wl string, v variant, instrs uint64) (*sim.Result, error) {
 		s.notify(key)
 		return res, nil
 	})
+}
+
+// canonicalName resolves "trace:" workload names to their canonical
+// fingerprinted form; every other name passes through untouched (so the keys
+// of all pre-existing runs are byte-identical to what they were before trace
+// workloads existed).
+func (s *Suite) canonicalName(wl string) (string, error) {
+	if !strings.HasPrefix(wl, workloads.TracePrefix) {
+		return wl, nil
+	}
+	w, err := s.traceWorkload(wl)
+	if err != nil {
+		return "", err
+	}
+	return w.Name, nil
+}
+
+// traceWorkload resolves one trace-backed workload through the suite memo.
+func (s *Suite) traceWorkload(wl string) (*workloads.Workload, error) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if w, ok := s.traceWl[wl]; ok {
+		return w, nil
+	}
+	w, err := workloads.ByName(wl, s.opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	s.traceWl[wl] = w
+	s.traceWl[w.Name] = w
+	return w, nil
+}
+
+// workload fetches the workload a (canonicalized) name denotes.
+func (s *Suite) workload(wl string) (*workloads.Workload, error) {
+	if strings.HasPrefix(wl, workloads.TracePrefix) {
+		return s.traceWorkload(wl)
+	}
+	return workloads.ByName(wl, s.opts.Scale)
 }
 
 // notify delivers one completed run key to Options.Notify, serialized.

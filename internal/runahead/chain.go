@@ -2,7 +2,6 @@ package runahead
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/isa"
@@ -178,30 +177,98 @@ type ExtractError struct{ Reason string }
 // Error implements error.
 func (e *ExtractError) Error() string { return "runahead: extraction failed: " + e.Reason }
 
+// Rejections are preallocated: failed walks are the common case on the
+// retire-driven extraction path and must not allocate.
+var (
+	errEmptyCEB      = &ExtractError{"empty CEB"}
+	errNotCondBranch = &ExtractError{"newest CEB entry is not a conditional branch"}
+	errExpensiveOp   = &ExtractError{"expensive op in slice"}
+	errChainTooLong  = &ExtractError{"chain longer than the configured MaxChainLen"}
+	errNoTerminator  = &ExtractError{"no terminating branch within the CEB"}
+	errStoreSurvived = &ExtractError{"store survived extraction"}
+	errInteriorCtl   = &ExtractError{"interior control flow"}
+	errDegenerate    = &ExtractError{"degenerate chain (no computation feeding the branch)"}
+)
+
 // seekEntry is a pending request for a producer of an architectural
 // register during the backward walk. beforePos restricts matches to CEB
 // positions strictly older (larger index) than it; this is what makes
 // store-load-pair elimination sound: the store's data register must be
 // produced before the store, not between the store and the load.
 type seekEntry struct {
+	reg       isa.Reg
 	vid       int
 	beforePos int
 }
 
-// extractor performs the backward dataflow walk of Figure 9.
+// regVid pairs an architectural register with a chain value id.
+type regVid struct {
+	reg isa.Reg
+	vid int
+}
+
+// extractor performs the backward dataflow walk of Figure 9. One extractor
+// is reused across every extraction a System performs: the scratch state
+// below is truncated between walks, never freed, so a steady-state
+// extraction allocates nothing beyond the Chain it produces
+// (TestExtractorSteadyStateAllocs pins this).
 type extractor struct {
-	ceb    *CEB
-	cfg    *Config
-	agSet  map[uint64]bool
-	search map[isa.Reg][]seekEntry
+	ceb   *CEB
+	cfg   *Config
+	agSet map[uint64]bool
+
+	// search holds the outstanding producer requests in creation order. A
+	// flat list rather than a per-register map: vid numbering, unification
+	// order and live-in order then follow insertion order directly, keeping
+	// chains bit-identical without sorting map keys.
+	search []seekEntry
 	alias  []int // vid -> vid alias (-1 = canonical)
 
 	// emitted collects chain uops in reverse (youngest-first) order with
 	// value-id operands.
 	emitted []vidUop
-	// liveOutVid records the youngest in-chain writer of each arch reg.
-	liveOutVid map[isa.Reg]int
-	loads      int
+	// liveOut records the youngest in-chain writer of each arch reg, in
+	// first-write order (the walk visits the youngest writer first).
+	liveOut []regVid
+	loads   int
+
+	// regsBuf and local are build()'s scratch: the distinct live-in
+	// registers, and the canonical-vid -> local-register numbering.
+	regsBuf []isa.Reg
+	local   map[int]int
+}
+
+// newExtractor returns an empty extractor; the maps persist across resets.
+func newExtractor() *extractor {
+	return &extractor{
+		agSet: make(map[uint64]bool),
+		local: make(map[int]int),
+	}
+}
+
+// reset points the extractor at a walk's inputs and truncates all scratch,
+// keeping the backing arrays.
+func (x *extractor) reset(ceb *CEB, cfg *Config, agSet []uint64) {
+	x.ceb, x.cfg = ceb, cfg
+	clear(x.agSet)
+	for _, pc := range agSet {
+		x.agSet[pc] = true
+	}
+	x.search = x.search[:0]
+	x.alias = x.alias[:0]
+	x.emitted = x.emitted[:0]
+	x.liveOut = x.liveOut[:0]
+	x.loads = 0
+}
+
+// grow1 extends s by one zero element, reusing capacity. Growth past the
+// high-water mark is the cold path and amortizes to zero across extractions.
+func grow1[T any](s []T) []T {
+	if len(s) < cap(s) {
+		return s[:len(s)+1]
+	}
+	var zero T
+	return append(s, zero) //brlint:allow hot-path-alloc
 }
 
 type vidUop struct {
@@ -212,7 +279,8 @@ type vidUop struct {
 }
 
 func (x *extractor) newVid() int {
-	x.alias = append(x.alias, -1)
+	x.alias = grow1(x.alias)
+	x.alias[len(x.alias)-1] = -1
 	return len(x.alias) - 1
 }
 
@@ -227,46 +295,54 @@ func (x *extractor) resolve(v int) int {
 func (x *extractor) seek(r isa.Reg, pos int) int {
 	// Reuse an existing request with the same window so two consumers of
 	// the same value share one vid; different windows must stay distinct.
-	for _, e := range x.search[r] {
-		if e.beforePos == pos {
+	for i := range x.search {
+		if e := &x.search[i]; e.reg == r && e.beforePos == pos {
 			return e.vid
 		}
 	}
 	vid := x.newVid()
-	x.search[r] = append(x.search[r], seekEntry{vid: vid, beforePos: pos})
+	x.search = grow1(x.search)
+	x.search[len(x.search)-1] = seekEntry{reg: r, vid: vid, beforePos: pos}
 	return vid
 }
 
 // match consumes all requests for r that may be satisfied at position pos
-// and returns their unified vid (or -1 when none match).
+// and returns their unified vid (or -1 when none match). Satisfied entries
+// are compacted out in place, preserving the order of the rest.
 func (x *extractor) match(r isa.Reg, pos int) int {
-	entries := x.search[r]
-	if len(entries) == 0 {
-		return -1
-	}
-	keep := entries[:0]
 	unified := -1
-	for _, e := range entries {
-		if pos > e.beforePos || e.beforePos == maxInt {
+	n := 0
+	for i := range x.search {
+		e := x.search[i]
+		if e.reg == r && (pos > e.beforePos || e.beforePos == maxInt) {
 			// Position pos is older than the consumer's window start.
 			if unified == -1 {
 				unified = e.vid
 			} else {
 				x.alias[e.vid] = unified
 			}
-		} else {
-			keep = append(keep, e)
+			continue
 		}
+		x.search[n] = e
+		n++
 	}
 	if unified == -1 {
-		return -1
+		return -1 // nothing consumed; the compaction above was the identity
 	}
-	if len(keep) == 0 {
-		delete(x.search, r)
-	} else {
-		x.search[r] = keep
-	}
+	x.search = x.search[:n]
 	return unified
+}
+
+// noteLiveOut records vid as r's live-out unless an in-chain writer was
+// already seen (the backward walk meets the youngest writer first).
+func (x *extractor) noteLiveOut(r isa.Reg, vid int) {
+	for i := range x.liveOut {
+		if x.liveOut[i].reg == r {
+			return
+		}
+	}
+	x.liveOut = grow1(x.liveOut)
+	x.liveOut[len(x.liveOut)-1] = regVid{reg: r, vid: vid}
 }
 
 const maxInt = int(^uint(0) >> 1)
@@ -274,29 +350,28 @@ const maxInt = int(^uint(0) >> 1)
 // ExtractChain walks the CEB backwards from the most recently retired
 // instance of the hard branch (which must be the newest CEB entry) and
 // returns its dependence chain. agSet lists the branch's known
-// affector/guard PCs, which terminate the walk (paper §4.3).
+// affector/guard PCs, which terminate the walk (paper §4.3). This
+// convenience wrapper allocates a fresh extractor per call; the System
+// reuses one across all its extractions instead.
 func ExtractChain(ceb *CEB, cfg *Config, agSet []uint64) (*Chain, error) {
+	return newExtractor().extract(ceb, cfg, agSet)
+}
+
+// extract runs one backward walk, reusing the extractor's scratch buffers.
+func (x *extractor) extract(ceb *CEB, cfg *Config, agSet []uint64) (*Chain, error) {
 	if ceb.Len() == 0 {
-		return nil, &ExtractError{"empty CEB"}
+		return nil, errEmptyCEB
 	}
 	br := ceb.at(0)
 	if !br.u.Op.IsCondBranch() {
-		return nil, &ExtractError{"newest CEB entry is not a conditional branch"}
+		return nil, errNotCondBranch
 	}
-	x := &extractor{
-		ceb:        ceb,
-		cfg:        cfg,
-		agSet:      make(map[uint64]bool, len(agSet)),
-		search:     make(map[isa.Reg][]seekEntry),
-		liveOutVid: make(map[isa.Reg]int),
-	}
-	for _, pc := range agSet {
-		x.agSet[pc] = true
-	}
+	x.reset(ceb, cfg, agSet)
 
 	// Seed with the branch itself: it sources the condition codes.
 	flagsVid := x.seek(isa.RegFlags, maxInt)
-	x.emitted = append(x.emitted, vidUop{u: br.u, dstVid: -1, s1Vid: flagsVid, s2Vid: -1})
+	x.emitted = grow1(x.emitted)
+	x.emitted[len(x.emitted)-1] = vidUop{u: br.u, dstVid: -1, s1Vid: flagsVid, s2Vid: -1}
 
 	tag, err := x.walk(br.u.PC)
 	if err != nil {
@@ -348,14 +423,12 @@ func (x *extractor) walk(branchPC uint64) (Tag, error) {
 			continue
 		}
 		if u.Op.IsExpensive() {
-			return Tag{}, &ExtractError{fmt.Sprintf("expensive op %s in slice", u.Op)}
+			return Tag{}, errExpensiveOp
 		}
 		if x.cfg.MoveElim && u.Op == isa.OpMov {
 			// Move elimination: alias the consumer's value to the source.
 			x.alias[vid] = x.seek(u.Src1, maxInt)
-			if _, seen := x.liveOutVid[dsts[0]]; !seen {
-				x.liveOutVid[dsts[0]] = vid
-			}
+			x.noteLiveOut(dsts[0], vid)
 			continue
 		}
 		if u.Op == isa.OpLd {
@@ -365,9 +438,7 @@ func (x *extractor) walk(branchPC uint64) (Tag, error) {
 					// register, so eliminate both (guaranteeing store-free
 					// chains).
 					x.alias[vid] = x.seek(sEntry.u.Dst, sPos)
-					if _, seen := x.liveOutVid[dsts[0]]; !seen {
-						x.liveOutVid[dsts[0]] = vid
-					}
+					x.noteLiveOut(dsts[0], vid)
 					continue
 				}
 			}
@@ -375,13 +446,11 @@ func (x *extractor) walk(branchPC uint64) (Tag, error) {
 		}
 		x.emit(u, vid)
 		if len(x.emitted) > x.cfg.MaxChainLen {
-			return Tag{}, &ExtractError{fmt.Sprintf("chain longer than %d uops", x.cfg.MaxChainLen)}
+			return Tag{}, errChainTooLong
 		}
-		if _, seen := x.liveOutVid[dsts[0]]; !seen {
-			x.liveOutVid[dsts[0]] = vid
-		}
+		x.noteLiveOut(dsts[0], vid)
 	}
-	return Tag{}, &ExtractError{"no terminating branch within the CEB"}
+	return Tag{}, errNoTerminator
 }
 
 // findStorePair locates the youngest store older than the load at loadPos
@@ -419,21 +488,58 @@ func (x *extractor) emit(u *isa.Uop, dstVid int) {
 			vu.s2Vid = x.seek(u.Src2, maxInt)
 		}
 	}
-	x.emitted = append(x.emitted, vu)
+	x.emitted = grow1(x.emitted)
+	x.emitted[len(x.emitted)-1] = vu
 }
 
 // searchRegs returns the registers with outstanding live-in requests in
-// ascending register order. Chains must be bit-identical across runs —
-// local register numbering feeds the chain cache, the DCE and the
-// disassembled dumps — so map iteration order must never reach build.
+// ascending register order, in the reused regsBuf scratch. Chains must be
+// bit-identical across runs — local register numbering feeds the chain
+// cache, the DCE and the disassembled dumps — so the gather sorts the
+// (already insertion-ordered) request list.
 func (x *extractor) searchRegs() []isa.Reg {
-	regs := make([]isa.Reg, 0, len(x.search))
-	// Key gathering is order-insensitive; the sort below restores determinism.
-	for r := range x.search { //brlint:allow determinism
-		regs = append(regs, r)
+	x.regsBuf = x.regsBuf[:0]
+	for i := range x.search {
+		r := x.search[i].reg
+		dup := false
+		for _, seen := range x.regsBuf {
+			if seen == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			x.regsBuf = grow1(x.regsBuf)
+			x.regsBuf[len(x.regsBuf)-1] = r
+		}
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
-	return regs
+	insertionSortRegs(x.regsBuf)
+	return x.regsBuf
+}
+
+// insertionSortRegs orders a handful of registers ascending without the
+// closure a sort.Slice call would allocate.
+func insertionSortRegs(regs []isa.Reg) {
+	for i := 1; i < len(regs); i++ {
+		for j := i; j > 0 && regs[j] < regs[j-1]; j-- {
+			regs[j], regs[j-1] = regs[j-1], regs[j]
+		}
+	}
+}
+
+// assign maps a vid to its chain-local register, numbering new canonical
+// vids in first-use order.
+func (x *extractor) assign(vid int) int {
+	if vid < 0 {
+		return -1
+	}
+	v := x.resolve(vid)
+	if l, ok := x.local[v]; ok {
+		return l
+	}
+	l := len(x.local)
+	x.local[v] = l
+	return l
 }
 
 // build reverses the emitted slice into program order, assigns local
@@ -441,40 +547,40 @@ func (x *extractor) searchRegs() []isa.Reg {
 func (x *extractor) build(branchPC uint64, tag Tag) (*Chain, error) {
 	// Unify any duplicate live-in requests for the same register: they all
 	// denote "the value of r at chain entry".
-	for _, r := range x.searchRegs() {
-		entries := x.search[r]
-		for i := 1; i < len(entries); i++ {
-			from, to := x.resolve(entries[i].vid), x.resolve(entries[0].vid)
+	regs := x.searchRegs()
+	for _, r := range regs {
+		first := -1
+		for i := range x.search {
+			if x.search[i].reg != r {
+				continue
+			}
+			if first == -1 {
+				first = i
+				continue
+			}
+			from, to := x.resolve(x.search[i].vid), x.resolve(x.search[first].vid)
 			if from != to {
 				x.alias[from] = to
 			}
 		}
 	}
 
-	local := make(map[int]int) // canonical vid -> local register
-	assign := func(vid int) int {
-		if vid < 0 {
-			return -1
-		}
-		v := x.resolve(vid)
-		if l, ok := local[v]; ok {
-			return l
-		}
-		l := len(local)
-		local[v] = l
-		return l
-	}
+	clear(x.local) // canonical vid -> local register
 
-	ch := &Chain{BranchPC: branchPC, Tag: tag, Loads: x.loads}
+	// The chain is the product of the walk: it outlives the extraction (the
+	// chain cache installs it), so unlike the scratch above it cannot be
+	// pooled. Sizes are exact; these are the only steady-state allocations.
+	ch := &Chain{BranchPC: branchPC, Tag: tag, Loads: x.loads} //brlint:allow hot-path-alloc
+	ch.Uops = make([]ChainUop, len(x.emitted))                 //brlint:allow hot-path-alloc
 	// Reverse into program order.
 	for i := len(x.emitted) - 1; i >= 0; i-- {
 		e := x.emitted[i]
 		u := e.u
-		ch.Uops = append(ch.Uops, ChainUop{
+		ch.Uops[len(x.emitted)-1-i] = ChainUop{
 			Op:      u.Op,
-			Dst:     assign(e.dstVid),
-			Src1:    assign(e.s1Vid),
-			Src2:    assign(e.s2Vid),
+			Dst:     x.assign(e.dstVid),
+			Src1:    x.assign(e.s1Vid),
+			Src2:    x.assign(e.s2Vid),
 			Imm:     u.Imm,
 			UseImm:  u.UseImm,
 			Scale:   u.Scale,
@@ -482,38 +588,47 @@ func (x *extractor) build(branchPC uint64, tag Tag) (*Chain, error) {
 			Signed:  u.Signed,
 			Cond:    u.Cond,
 			OrigPC:  u.PC,
-		})
-	}
-	for _, r := range x.searchRegs() {
-		entries := x.search[r]
-		if len(entries) == 0 {
-			continue
 		}
-		ch.LiveIns = append(ch.LiveIns, LiveBinding{Arch: r, Local: assign(entries[0].vid)})
 	}
-	liveOuts := make([]isa.Reg, 0, len(x.liveOutVid))
-	// Key gathering is order-insensitive; the sort below restores determinism.
-	for r := range x.liveOutVid { //brlint:allow determinism
-		liveOuts = append(liveOuts, r)
+	if len(regs) > 0 {
+		ch.LiveIns = make([]LiveBinding, len(regs)) //brlint:allow hot-path-alloc
 	}
-	sort.Slice(liveOuts, func(i, j int) bool { return liveOuts[i] < liveOuts[j] })
-	for _, r := range liveOuts {
-		ch.LiveOuts = append(ch.LiveOuts, LiveBinding{Arch: r, Local: assign(x.liveOutVid[r])})
+	for i, r := range regs {
+		// The first request for r denotes "the value of r at chain entry".
+		for j := range x.search {
+			if x.search[j].reg == r {
+				ch.LiveIns[i] = LiveBinding{Arch: r, Local: x.assign(x.search[j].vid)}
+				break
+			}
+		}
 	}
-	ch.NumLocals = len(local)
+	// liveOut is scratch, so it can be reordered in place: ascending
+	// register order, matching the live-in convention.
+	for i := 1; i < len(x.liveOut); i++ {
+		for j := i; j > 0 && x.liveOut[j].reg < x.liveOut[j-1].reg; j-- {
+			x.liveOut[j], x.liveOut[j-1] = x.liveOut[j-1], x.liveOut[j]
+		}
+	}
+	if len(x.liveOut) > 0 {
+		ch.LiveOuts = make([]LiveBinding, len(x.liveOut)) //brlint:allow hot-path-alloc
+	}
+	for i, lo := range x.liveOut {
+		ch.LiveOuts[i] = LiveBinding{Arch: lo.reg, Local: x.assign(lo.vid)}
+	}
+	ch.NumLocals = len(x.local)
 
 	// Simplicity guarantees (paper §1): short, store-free, no control flow
 	// except the final branch.
 	for i, u := range ch.Uops {
 		if u.Op == isa.OpSt {
-			return nil, &ExtractError{"store survived extraction"}
+			return nil, errStoreSurvived
 		}
 		if u.Op.IsBranch() && i != len(ch.Uops)-1 {
-			return nil, &ExtractError{"interior control flow"}
+			return nil, errInteriorCtl
 		}
 	}
 	if len(ch.Uops) < 2 || !ch.Uops[len(ch.Uops)-1].Op.IsCondBranch() {
-		return nil, &ExtractError{"degenerate chain (no computation feeding the branch)"}
+		return nil, errDegenerate
 	}
 	return ch, nil
 }

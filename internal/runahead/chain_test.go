@@ -207,6 +207,78 @@ func TestExtractSkipsUnrelatedUops(t *testing.T) {
 	}
 }
 
+// TestExtractorSteadyStateAllocs pins the extractor's free-list discipline:
+// after the first walk warms the scratch high-water marks, a reused
+// extractor allocates only the Chain product itself (the struct plus its
+// three exact-size slices).
+func TestExtractorSteadyStateAllocs(t *testing.T) {
+	loop := []isa.Uop{
+		{PC: 7, Op: isa.OpBr, Cond: isa.CondNE, Imm: 0},
+		{PC: 10, Op: isa.OpAdd, Dst: isa.R3, Src1: isa.R3, Imm: 4, UseImm: true},
+		{PC: 12, Op: isa.OpLd, Dst: isa.R7, Src1: isa.R3, MemSize: 8},
+		{PC: 13, Op: isa.OpAdd, Dst: isa.R7, Src1: isa.R7, Src2: isa.R5},
+		{PC: 3, Op: isa.OpLd, Dst: isa.R0, Src1: isa.R7, MemSize: 8},
+		{PC: 5, Op: isa.OpCmp, Src1: isa.R0, Imm: 2, UseImm: true},
+		{PC: 7, Op: isa.OpBr, Cond: isa.CondNE, Imm: 0},
+	}
+	cfg := miniCfg()
+	ceb := buildCEB(t, loop, nil, nil)
+	x := newExtractor()
+	if _, err := x.extract(ceb, &cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := x.extract(ceb, &cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// &Chain + Uops + LiveIns + LiveOuts.
+	if allocs > 4 {
+		t.Fatalf("steady-state extraction allocates %.0f times per walk, want <= 4", allocs)
+	}
+}
+
+// TestExtractorReuseMatchesFresh: a reused extractor must produce chains
+// bit-identical to a fresh one — the scratch reuse must not leak state
+// between walks.
+func TestExtractorReuseMatchesFresh(t *testing.T) {
+	seqs := [][]isa.Uop{
+		{
+			{PC: 7, Op: isa.OpBr, Cond: isa.CondNE, Imm: 0},
+			{PC: 10, Op: isa.OpAdd, Dst: isa.R3, Src1: isa.R3, Imm: 4, UseImm: true},
+			{PC: 12, Op: isa.OpLd, Dst: isa.R7, Src1: isa.R3, MemSize: 8},
+			{PC: 5, Op: isa.OpCmp, Src1: isa.R7, Imm: 2, UseImm: true},
+			{PC: 7, Op: isa.OpBr, Cond: isa.CondNE, Imm: 0},
+		},
+		{
+			{PC: 9, Op: isa.OpBr, Cond: isa.CondEQ, Imm: 0},
+			{PC: 1, Op: isa.OpAdd, Dst: isa.R4, Src1: isa.R4, Src2: isa.R5},
+			{PC: 2, Op: isa.OpMov, Dst: isa.R2, Src1: isa.R4},
+			{PC: 3, Op: isa.OpTest, Src1: isa.R2, Src2: isa.R2},
+			{PC: 9, Op: isa.OpBr, Cond: isa.CondEQ, Imm: 0},
+		},
+	}
+	cfg := miniCfg()
+	x := newExtractor()
+	for round := 0; round < 3; round++ {
+		for i, seq := range seqs {
+			ceb := buildCEB(t, seq, nil, nil)
+			reused, err := x.extract(ceb, &cfg, nil)
+			if err != nil {
+				t.Fatalf("round %d seq %d: reused: %v", round, i, err)
+			}
+			fresh, err := ExtractChain(ceb, &cfg, nil)
+			if err != nil {
+				t.Fatalf("round %d seq %d: fresh: %v", round, i, err)
+			}
+			if !reused.Equal(fresh) || reused.NumLocals != fresh.NumLocals {
+				t.Fatalf("round %d seq %d: reused extractor diverged:\nreused: %sfresh: %s",
+					round, i, reused, fresh)
+			}
+		}
+	}
+}
+
 func TestTagMatching(t *testing.T) {
 	wild := Tag{PC: 10, Out: OutWildcard}
 	tk := Tag{PC: 10, Out: OutTaken}

@@ -52,6 +52,10 @@ type System struct {
 	// lists are never part of the architectural state.
 	refPool []*slotRef //brlint:allow snapshot-coverage
 	refSlab []slotRef  //brlint:allow snapshot-coverage
+
+	// ext is the reusable chain extractor; pure scratch between
+	// extractions, so never part of the architectural state.
+	ext *extractor
 }
 
 // sysCounters are pre-registered handles for the prediction-accounting and
@@ -74,6 +78,7 @@ func New(cfg Config, dcache *cache.Cache, mem *emu.Memory) *System {
 		hbt: NewHBT(cfg.HBTEntries),
 		ceb: NewCEB(cfg.CEBEntries),
 		cc:  NewChainCache(cfg.ChainCacheSize),
+		ext: newExtractor(),
 		C:   stats.NewCounters(),
 	}
 	s.ctr = sysCounters{
@@ -413,7 +418,7 @@ func (s *System) extract(now uint64, pc uint64) {
 	if s.cfg.UseAffectorGuard {
 		agSet = s.hbt.AGSet(pc)
 	}
-	ch, err := ExtractChain(s.ceb, &s.cfg, agSet)
+	ch, err := s.ext.extract(s.ceb, &s.cfg, agSet)
 	if err != nil {
 		s.ctr.extractFailed.Inc()
 		if s.tr.Enabled() {

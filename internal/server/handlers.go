@@ -167,21 +167,38 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// catalogWorkload is one runnable workload in the discovery payload.
+type catalogWorkload struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	// FrontEnd is how the machine fetches this workload: "exec" for
+	// execution-driven synthetic kernels, "replay" for recorded traces.
+	FrontEnd string `json:"front_end"`
+}
+
 // catalog is the discovery payload: everything a request may name.
 type catalog struct {
-	Version    int      `json:"version"`
-	Workloads  []string `json:"workloads"`
-	Predictors []string `json:"predictors"`
-	BRConfigs  []string `json:"br_configs"`
-	Figures    []string `json:"figures"`
+	Version    int               `json:"version"`
+	Workloads  []catalogWorkload `json:"workloads"`
+	Predictors []string          `json:"predictors"`
+	BRConfigs  []string          `json:"br_configs"`
+	Figures    []string          `json:"figures"`
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
-	names := append([]string(nil), workloads.Names()...)
-	sort.Strings(names)
+	infos := workloads.Infos()
+	wls := make([]catalogWorkload, len(infos))
+	for i, in := range infos {
+		fe := "exec"
+		if in.Suite == workloads.TraceSuite {
+			fe = "replay"
+		}
+		wls[i] = catalogWorkload{Name: in.Name, Suite: in.Suite, FrontEnd: fe}
+	}
+	sort.Slice(wls, func(i, j int) bool { return wls[i].Name < wls[j].Name })
 	writeJSON(w, http.StatusOK, catalog{
 		Version:    RequestVersion,
-		Workloads:  names,
+		Workloads:  wls,
 		Predictors: Predictors(),
 		BRConfigs:  BRConfigs(),
 		Figures:    Figures(),

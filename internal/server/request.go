@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/workloads"
@@ -110,9 +111,11 @@ func NormalizeRequest(req Request, d Defaults) (Request, error) {
 		if req.Workload == "" {
 			return Request{}, fmt.Errorf("server: run request: workload required")
 		}
-		if err := checkWorkload(req.Workload); err != nil {
+		wl, err := resolveWorkload(req.Workload)
+		if err != nil {
 			return Request{}, err
 		}
+		req.Workload = wl
 		if req.Predictor == "" {
 			req.Predictor = "tage64"
 		}
@@ -161,12 +164,34 @@ func NormalizeRequest(req Request, d Defaults) (Request, error) {
 }
 
 func checkWorkload(name string) error {
+	if strings.HasPrefix(name, workloads.TracePrefix) {
+		return fmt.Errorf("server: trace workload %q: figures aggregate the paper's suites; trace replays are run requests only", name)
+	}
 	for _, wl := range workloads.Names() {
 		if wl == name {
 			return nil
 		}
 	}
 	return fmt.Errorf("server: unknown workload %q", name)
+}
+
+// resolveWorkload validates a run request's workload name. Trace names are
+// resolved now — a missing or corrupt trace file is the client's error (400),
+// not a mid-job failure — and canonicalized to their fingerprinted form, so
+// the job ID addresses the trace content: resubmitting after the file changed
+// is a new job, not a stale hit.
+func resolveWorkload(name string) (string, error) {
+	if strings.HasPrefix(name, workloads.TracePrefix) {
+		w, err := workloads.ByName(name, workloads.Scale{})
+		if err != nil {
+			return "", err
+		}
+		return w.Name, nil
+	}
+	if err := checkWorkload(name); err != nil {
+		return "", err
+	}
+	return name, nil
 }
 
 // fingerprint content-addresses a normalized request: the job ID. JSON

@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/internal/experiments"
@@ -49,6 +51,10 @@ type Config struct {
 	// Quick selects the reduced QuickOptions budgets and the small
 	// workload scale as request defaults (tests and demos).
 	Quick bool
+	// TraceDir, when non-empty, registers every *.btr file in it as a
+	// trace-driven workload at startup, named "trace:<basename>"; /v1/catalog
+	// lists them and run requests may name them.
+	TraceDir string
 }
 
 // Validate rejects nonsensical configurations.
@@ -77,6 +83,11 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.TraceDir != "" {
+		if err := registerTraces(cfg.TraceDir); err != nil {
+			return nil, err
+		}
 	}
 	maxJobs := cfg.MaxJobs
 	if maxJobs <= 0 {
@@ -195,6 +206,24 @@ func (s *Server) submit(req Request) (*job, bool, error) {
 }
 
 var errDraining = errors.New("server: draining, not accepting jobs")
+
+// registerTraces names every *.btr file under dir as a trace workload. It
+// runs once at server construction, before the handler serves anything, so
+// the registration-before-concurrency contract of workloads.RegisterTrace
+// holds.
+func registerTraces(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.btr"))
+	if err != nil {
+		return fmt.Errorf("server: trace dir: %w", err)
+	}
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".btr")
+		if err := workloads.RegisterTrace(name, p); err != nil {
+			return fmt.Errorf("server: trace dir: %w", err)
+		}
+	}
+	return nil
+}
 
 // runJob executes one job on the MaxJobs semaphore.
 func (s *Server) runJob(j *job) {

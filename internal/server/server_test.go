@@ -446,9 +446,26 @@ func TestServeCatalog(t *testing.T) {
 	if c.Version != RequestVersion {
 		t.Errorf("catalog version = %d", c.Version)
 	}
+	if len(c.Workloads) == 0 {
+		t.Error("catalog workloads is empty")
+	}
+	seen := map[string]bool{}
+	for _, wl := range c.Workloads {
+		seen[wl.Name] = true
+		if wl.FrontEnd != "exec" && wl.FrontEnd != "replay" {
+			t.Errorf("workload %s: front_end = %q", wl.Name, wl.FrontEnd)
+		}
+		if (wl.FrontEnd == "replay") != (wl.Suite == workloads.TraceSuite) {
+			t.Errorf("workload %s: front_end %q inconsistent with suite %q", wl.Name, wl.FrontEnd, wl.Suite)
+		}
+	}
+	for _, name := range workloads.Names() {
+		if !seen[name] {
+			t.Errorf("catalog is missing built-in workload %s", name)
+		}
+	}
 	for name, list := range map[string][]string{
-		"workloads": c.Workloads, "predictors": c.Predictors,
-		"br_configs": c.BRConfigs, "figures": c.Figures,
+		"predictors": c.Predictors, "br_configs": c.BRConfigs, "figures": c.Figures,
 	} {
 		if len(list) == 0 {
 			t.Errorf("catalog %s is empty", name)

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/btrace"
+	"repro/internal/runahead"
+	"repro/internal/workloads"
+)
+
+// recordedWorkload records w's correct path long enough for cfg's budget and
+// wraps the trace as an in-memory workload.
+func recordedWorkload(t *testing.T, w *workloads.Workload, cfg Config) *workloads.Workload {
+	t.Helper()
+	tr, err := btrace.Record(w.Prog, w.Name, btrace.StepsFor(cfg.Warmup, cfg.MaxInstrs))
+	if err != nil {
+		t.Fatalf("%s: record: %v", w.Name, err)
+	}
+	return &workloads.Workload{Name: w.Name, Suite: workloads.TraceSuite, Prog: tr.Prog, Trace: tr}
+}
+
+// mustEqualResults compares two runs field-for-field (the Workload name is
+// normalized by the callers before this).
+func mustEqualResults(t *testing.T, name string, exec, replay *Result) {
+	t.Helper()
+	if exec.Cycles != replay.Cycles {
+		t.Fatalf("%s: cycles diverged: executed %d, replayed %d", name, exec.Cycles, replay.Cycles)
+	}
+	if !reflect.DeepEqual(exec, replay) {
+		t.Fatalf("%s: results diverged:\nexecuted: %+v\nreplayed: %+v", name, exec, replay)
+	}
+}
+
+// TestReplayConformance is the record-then-replay conformance suite: for
+// every workload at quick scale, a run replayed from a recorded trace must
+// produce a Result deep-equal to the execution-driven run — same cycles,
+// same per-branch stats, same activity. FEAuto picks the replayer from the
+// workload's trace, so both runs carry identical Config strings.
+func TestReplayConformance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 2_000
+	cfg.MaxInstrs = 10_000
+	for _, w := range workloads.All(workloads.SmallScale()) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			tw := recordedWorkload(t, w, cfg)
+			exec, err := Run(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay, err := Run(tw, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, w.Name, exec, replay)
+		})
+	}
+}
+
+// TestReplayConformanceBR repeats the conformance check with the Branch
+// Runahead system attached: the replayer must feed the chain extractor and
+// runahead engine the same retired stream execution does.
+func TestReplayConformanceBR(t *testing.T) {
+	br := runahead.Mini()
+	cfg := DefaultConfig()
+	cfg.Warmup = 2_000
+	cfg.MaxInstrs = 10_000
+	cfg.BR = &br
+	for _, name := range []string{"mcf_17", "leela_17", "bfs"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.ByName(name, workloads.SmallScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tw := recordedWorkload(t, w, cfg)
+			exec, err := Run(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay, err := Run(tw, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, name, exec, replay)
+		})
+	}
+}
+
+// TestTraceWorkloadByName exercises the file path: a recorded trace written
+// to disk, registered under a name, and resolved through workloads.ByName
+// must replay end-to-end and carry its fingerprint in the canonical name.
+func TestTraceWorkloadByName(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 1_000
+	cfg.MaxInstrs = 5_000
+	w, err := workloads.ByName("leela_17", workloads.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := btrace.Record(w.Prog, w.Name, btrace.StepsFor(cfg.Warmup, cfg.MaxInstrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "leela.btr")
+	if err := btrace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.RegisterTrace("leela-conf", path); err != nil {
+		t.Fatal(err)
+	}
+	tw, err := workloads.ByName("trace:leela-conf", workloads.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "trace:leela-conf@" + tw.Trace.Fingerprint
+	if tw.Name != want {
+		t.Fatalf("canonical name %q, want %q", tw.Name, want)
+	}
+	// The canonical (fingerprinted) name must resolve too, and reject a
+	// stale fingerprint.
+	if _, err := workloads.ByName(tw.Name, workloads.SmallScale()); err != nil {
+		t.Fatalf("canonical name does not re-resolve: %v", err)
+	}
+	stale := "trace:leela-conf@0123456789abcdef"
+	if _, err := workloads.ByName(stale, workloads.SmallScale()); err == nil {
+		t.Fatal("stale fingerprint accepted")
+	}
+	res, err := Run(tw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retirement can overshoot the budget within the final cycle.
+	if res.Instrs < cfg.MaxInstrs {
+		t.Fatalf("replayed %d instrs, want >= %d", res.Instrs, cfg.MaxInstrs)
+	}
+}
+
+// TestFrontEndKnob pins the explicit front-end kinds: FETrace without a
+// trace fails, FEExec on a trace workload falls back to execution, and the
+// explicit kinds (only) mark the config name.
+func TestFrontEndKnob(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 500
+	cfg.MaxInstrs = 2_000
+	w, err := workloads.ByName("bfs", workloads.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := cfg
+	bad.FrontEnd = FETrace
+	if _, err := Run(w, bad); err == nil {
+		t.Fatal("FETrace accepted a workload with no trace")
+	}
+
+	tw := recordedWorkload(t, w, cfg)
+	ex := cfg
+	ex.FrontEnd = FEExec
+	exec, err := Run(tw, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Config != configName(cfg)+"+exec" {
+		t.Fatalf("FEExec config name %q", exec.Config)
+	}
+	rp := cfg
+	rp.FrontEnd = FETrace
+	replay, err := Run(tw, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Config != configName(cfg)+"+replay" {
+		t.Fatalf("FETrace config name %q", replay.Config)
+	}
+	// Both explicit kinds simulate the same machine; everything but the
+	// config string matches.
+	exec.Config = replay.Config
+	mustEqualResults(t, "bfs", exec, replay)
+
+	inv := cfg
+	inv.FrontEnd = FrontEndKind(99)
+	if err := inv.Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown front-end kind")
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 
 	"repro/internal/bpred"
+	"repro/internal/btrace"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/emu"
 	"repro/internal/energy"
 	"repro/internal/program"
 	"repro/internal/runahead"
@@ -62,6 +64,45 @@ func newPredictor(k PredictorKind, prog *program.Program) bpred.Predictor {
 	}
 }
 
+// FrontEndKind selects the machine's instruction source (the core.InstrSource
+// seam): execution-driven emulation of the workload program, or replay of a
+// recorded branch/uop trace.
+type FrontEndKind int
+
+// Front-end kinds.
+const (
+	// FEAuto picks the trace replayer when the workload carries a recorded
+	// trace and the execution-driven emulator otherwise. It is the zero value,
+	// so pre-existing configurations keep their exact behaviour (and their
+	// config names, cache addresses and warmup keys).
+	FEAuto FrontEndKind = iota
+	// FEExec forces execution-driven emulation of the workload program.
+	FEExec
+	// FETrace forces trace replay; the workload must carry a trace.
+	FETrace
+)
+
+// newSource builds the instruction source the configured front-end kind
+// selects for w.
+func newSource(w *workloads.Workload, kind FrontEndKind) (core.InstrSource, error) {
+	switch kind {
+	case FEAuto:
+		if w.Trace != nil {
+			return btrace.NewSource(w.Trace), nil
+		}
+		return emu.NewSource(w.Prog), nil
+	case FEExec:
+		return emu.NewSource(w.Prog), nil
+	case FETrace:
+		if w.Trace == nil {
+			return nil, fmt.Errorf("sim: FrontEnd=FETrace but workload %s carries no trace", w.Name)
+		}
+		return btrace.NewSource(w.Trace), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown front-end kind %d", int(kind))
+	}
+}
+
 // testWrapPredictor, when non-nil, wraps the predictor newMachine builds.
 // It is a test-only seam (the release-audit predictor uses it to intercept
 // every Checkpoint/Release and Predict/ReleaseInfo pair); production code
@@ -79,6 +120,11 @@ var testWrapPredictor func(bpred.Predictor) bpred.Predictor
 type Config struct {
 	Core      core.Config   `brphase:"warmup"`
 	Predictor PredictorKind `brphase:"warmup"`
+	// FrontEnd selects the instruction source; see FrontEndKind. The source
+	// feeds warmup fetch, so it is warmup-affecting: runs may share a warmup
+	// snapshot only when they agree on it (and, through the workload name,
+	// on the trace content when replaying).
+	FrontEnd FrontEndKind `brphase:"warmup"`
 	// BR enables Branch Runahead when non-nil. It is measure-only under the
 	// sharing contract: sharing is legal only in WarmupBarrier mode, where
 	// the runahead system attaches at the (drained, quiesced) warmup/measure
@@ -142,6 +188,11 @@ func (c Config) Validate() error {
 		PredPerceptron, PredTournament, PredLDBP, PredBullseye:
 	default:
 		return fmt.Errorf("sim: unknown predictor kind %d", int(c.Predictor))
+	}
+	switch c.FrontEnd {
+	case FEAuto, FEExec, FETrace:
+	default:
+		return fmt.Errorf("sim: unknown front-end kind %d", int(c.FrontEnd))
 	}
 	if c.MaxInstrs == 0 {
 		return fmt.Errorf("sim: MaxInstrs must be positive")
@@ -243,7 +294,11 @@ func newMachine(w *workloads.Workload, cfg Config) (*machine, error) {
 	if testWrapPredictor != nil {
 		bp = testWrapPredictor(bp)
 	}
-	c := core.New(cfg.Core, w.Prog, bp, hier, nil)
+	src, err := newSource(w, cfg.FrontEnd)
+	if err != nil {
+		return nil, err
+	}
+	c := core.NewWithSource(cfg.Core, src, bp, hier, nil)
 	m := &machine{w: w, cfg: cfg, hier: hier, bp: bp, c: c}
 	if !cfg.WarmupBarrier {
 		// Default mode: the runahead system attaches at reset. In
@@ -480,6 +535,14 @@ func configName(cfg Config) string {
 	}
 	if cfg.BR != nil {
 		name += "+br-" + cfg.BR.Name
+	}
+	// FEAuto stays unnamed so pre-existing runs keep their exact config
+	// strings; the workload name already distinguishes trace replays.
+	switch cfg.FrontEnd {
+	case FEExec:
+		name += "+exec"
+	case FETrace:
+		name += "+replay"
 	}
 	return name
 }

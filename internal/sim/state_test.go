@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/runahead"
-	"repro/internal/simtest"
 	"repro/internal/workloads"
 )
 
@@ -19,7 +18,12 @@ func snapCfg(br *runahead.Config, stride uint64) Config {
 }
 
 func mustWorkload(t *testing.T, name string) *workloads.Workload {
-	return simtest.MustWorkload(t, name, workloads.SmallScale())
+	t.Helper()
+	w, err := workloads.ByName(name, workloads.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }
 
 // runWithSnapshots runs straight through with a snapshot sink attached and

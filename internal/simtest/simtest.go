@@ -1,10 +1,11 @@
 // Package simtest holds test helpers shared across the simulator's
-// packages: workload fixtures, table-cell parsing, and the save/load/save
-// round-trip harness every component's snapshot codec is pinned with.
+// packages: table-cell parsing and the save/load/save round-trip harness
+// every component's snapshot codec is pinned with.
 //
-// The package deliberately imports only leaf packages (brstate, workloads),
-// never sim or the components themselves, so in-package tests anywhere in
-// the module can use it without import cycles.
+// The package deliberately imports only the brstate leaf, never sim or the
+// components themselves, so in-package tests anywhere in the module
+// (including emu, which workloads now transitively imports via btrace) can
+// use it without import cycles.
 package simtest
 
 import (
@@ -14,18 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/brstate"
-	"repro/internal/workloads"
 )
-
-// MustWorkload builds the named workload or fails the test.
-func MustWorkload(t *testing.T, name string, scale workloads.Scale) *workloads.Workload {
-	t.Helper()
-	w, err := workloads.ByName(name, scale)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return w
-}
 
 // ParseF parses a rendered table cell as a float64 or fails the test.
 func ParseF(t *testing.T, s string) float64 {

@@ -14,7 +14,9 @@ package workloads
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
+	"repro/internal/btrace"
 	"repro/internal/isa"
 	"repro/internal/program"
 )
@@ -22,10 +24,15 @@ import (
 // Workload couples a generated program with its identity.
 type Workload struct {
 	Name  string
-	Suite string // "spec17", "spec06" or "gap"
+	Suite string // "spec17", "spec06", "gap" or "trace"
 	Prog  *program.Program
 	// About describes the hard-branch idiom the kernel reproduces.
 	About string
+	// Trace, when non-nil, is the recorded branch/uop trace backing this
+	// workload; the simulator then replays it instead of executing Prog.
+	// Prog still points at the trace's static image, so program-reading
+	// consumers (decode cache, LDBP, the chain extractor) work unchanged.
+	Trace *btrace.Trace
 }
 
 // Scale sizes workload footprints. Default keeps outcome sequences well
@@ -83,6 +90,26 @@ func Names() []string {
 	return out
 }
 
+// Info names one available workload without building it.
+type Info struct {
+	Name  string
+	Suite string
+}
+
+// Infos lists the built-in kernels (presentation order) followed by every
+// registered trace workload (sorted). Unlike All it builds nothing, so
+// discovery endpoints can call it per request.
+func Infos() []Info {
+	out := make([]Info, 0, len(builders)+len(traceFiles))
+	for _, b := range builders {
+		out = append(out, Info{Name: b.name, Suite: b.suite})
+	}
+	for _, name := range TraceNames() {
+		out = append(out, Info{Name: TracePrefix + name, Suite: TraceSuite})
+	}
+	return out
+}
+
 // All builds every workload at the given scale.
 func All(s Scale) []*Workload {
 	out := make([]*Workload, len(builders))
@@ -94,8 +121,13 @@ func All(s Scale) []*Workload {
 	return out
 }
 
-// ByName builds one workload.
+// ByName builds one workload. Names beginning with "trace:" resolve a
+// recorded trace (registered name or file path — see trace.go) instead of a
+// synthetic kernel; the scale is ignored for those, the recording fixed it.
 func ByName(name string, s Scale) (*Workload, error) {
+	if spec, ok := strings.CutPrefix(name, TracePrefix); ok {
+		return traceWorkload(spec)
+	}
 	for _, b := range builders {
 		if b.name == name {
 			w := b.build(s)
